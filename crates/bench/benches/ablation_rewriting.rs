@@ -1,0 +1,62 @@
+//! Ablation bench: the cost of the individual rewriting schemes (fanout, XOR,
+//! XOR+common) on the same circuit, plus MT-LR with the vanishing rules
+//! disabled. Complements the `ablation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmv_core::{
+    rewrite::{fanout_rewriting, logic_reduction_rewriting, xor_rewriting, RewriteConfig},
+    AlgebraicModel, VanishingRules,
+};
+use gbmv_genmul::MultiplierSpec;
+
+fn bench_rewriting_schemes(c: &mut Criterion) {
+    let width = 8;
+    let netlist = MultiplierSpec::parse("SP-CT-BK", width).expect("architecture").build();
+    let base_model = AlgebraicModel::from_netlist(&netlist);
+    let mut group = c.benchmark_group("ablation_rewriting");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("scheme", "fanout"), &base_model, |b, m| {
+        b.iter(|| {
+            let mut model = m.clone();
+            fanout_rewriting(&mut model, &RewriteConfig::default());
+            model.num_polynomials()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("scheme", "xor"), &base_model, |b, m| {
+        b.iter(|| {
+            let mut model = m.clone();
+            xor_rewriting(&mut model, &RewriteConfig::default());
+            model.num_polynomials()
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("scheme", "logic_reduction"),
+        &base_model,
+        |b, m| {
+            b.iter(|| {
+                let mut model = m.clone();
+                logic_reduction_rewriting(&mut model, &RewriteConfig::default());
+                model.num_polynomials()
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("scheme", "logic_reduction_no_rules"),
+        &base_model,
+        |b, m| {
+            b.iter(|| {
+                let mut model = m.clone();
+                let config = RewriteConfig {
+                    rules: VanishingRules::none(),
+                    ..RewriteConfig::default()
+                };
+                logic_reduction_rewriting(&mut model, &config);
+                model.num_polynomials()
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewriting_schemes);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench corresponding to Table I (simple partial products):
+//! MT-LR and MT-FO on representative SP architectures at width 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+use gbmv_genmul::MultiplierSpec;
+
+fn bench_table1(c: &mut Criterion) {
+    let width = 8;
+    let config = VerifyConfig {
+        extract_counterexample: false,
+        ..VerifyConfig::default()
+    };
+    let mut group = c.benchmark_group("table1_simple_pp");
+    group.sample_size(10);
+    for arch in ["SP-AR-RC", "SP-WT-CL", "SP-CT-BK", "SP-DT-HC"] {
+        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
+            b.iter(|| {
+                let report = verify_multiplier(nl, width, Method::MtLr, &config);
+                assert!(report.outcome.is_verified());
+            });
+        });
+    }
+    // MT-FO only on the architecture it can handle (the paper's point: it
+    // succeeds on SP-AR-RC and blows up on the parallel ones).
+    let netlist = MultiplierSpec::parse("SP-AR-RC", width).expect("architecture").build();
+    group.bench_with_input(BenchmarkId::new("MT-FO", "SP-AR-RC"), &netlist, |b, nl| {
+        b.iter(|| {
+            let report = verify_multiplier(nl, width, Method::MtFo, &config);
+            assert!(report.outcome.is_verified());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench corresponding to Table II (Booth partial products):
+//! MT-LR on representative BP architectures at width 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+use gbmv_genmul::MultiplierSpec;
+
+fn bench_table2(c: &mut Criterion) {
+    let width = 8;
+    let config = VerifyConfig {
+        extract_counterexample: false,
+        ..VerifyConfig::default()
+    };
+    let mut group = c.benchmark_group("table2_booth_pp");
+    group.sample_size(10);
+    for arch in ["BP-AR-RC", "BP-WT-CL", "BP-CT-BK", "BP-DT-HC"] {
+        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
+            b.iter(|| {
+                let report = verify_multiplier(nl, width, Method::MtLr, &config);
+                assert!(report.outcome.is_verified());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench corresponding to Table III: isolates the Gröbner basis
+//! reduction time after logic reduction rewriting (the paper reports that
+//! reduction is only a fraction of the MT-LR total).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbmv_core::{
+    reduction::GbReduction,
+    rewrite::{logic_reduction_rewriting, RewriteConfig},
+    AlgebraicModel, Verifier,
+};
+use gbmv_genmul::MultiplierSpec;
+
+fn bench_table3(c: &mut Criterion) {
+    let width = 8;
+    let mut group = c.benchmark_group("table3_gb_reduction");
+    group.sample_size(10);
+    for arch in ["BP-WT-CL", "SP-CT-BK", "SP-DT-HC"] {
+        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        // Prepare the rewritten model once; the bench measures the reduction.
+        let verifier = Verifier::new(&netlist);
+        let spec = verifier.multiplier_spec(width);
+        let mut model = AlgebraicModel::from_netlist(&netlist);
+        logic_reduction_rewriting(&mut model, &RewriteConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("gb_reduction_after_mtlr", arch),
+            &(model, spec),
+            |b, (model, spec)| {
+                b.iter(|| {
+                    let (r, outcome, _) = GbReduction::default().reduce(model, spec);
+                    assert!(outcome.is_completed());
+                    assert!(r.drop_multiples_of_pow2(2 * width as u32).is_zero());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation study beyond the paper's tables: isolates the effect of the two
+//! halves of logic reduction rewriting.
+//!
+//! For each architecture the run time of four configurations is reported:
+//! MT-FO (baseline), MT-XOR (XOR rewriting only, which the paper argues is
+//! inefficient on its own), MT-LR without the vanishing rules, and the full
+//! MT-LR.
+
+use std::time::Instant;
+
+use gbmv_bench::{format_duration, HarnessConfig};
+use gbmv_core::{verify_multiplier, Method, Outcome, VanishingRules, VerifyConfig};
+use gbmv_genmul::MultiplierSpec;
+
+fn run(arch: &str, width: usize, method: Method, config: &VerifyConfig) -> String {
+    let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+    let start = Instant::now();
+    let report = verify_multiplier(&netlist, width, method, config);
+    let elapsed = start.elapsed();
+    match report.outcome {
+        Outcome::Verified => format_duration(elapsed),
+        Outcome::ResourceLimit { .. } => "TO".to_string(),
+        Outcome::Mismatch { .. } => "FAIL".to_string(),
+    }
+}
+
+fn main() {
+    let harness = HarnessConfig::from_env();
+    let base = harness.verify_config();
+    let no_rules = VerifyConfig {
+        rules: VanishingRules::none(),
+        ..base.clone()
+    };
+    println!("Ablation: rewriting schemes and vanishing rules");
+    println!(
+        "{:<12} {:>5} {:>14} {:>14} {:>16} {:>14}",
+        "Benchmark", "width", "MT-FO", "MT-XOR", "MT-LR(no rule)", "MT-LR"
+    );
+    for &width in &harness.widths {
+        for arch in ["SP-CT-BK", "BP-WT-CL", "SP-AR-RC"] {
+            let fo = run(arch, width, Method::MtFo, &base);
+            let xor_only = run(arch, width, Method::MtXorOnly, &base);
+            let lr_no_rule = run(arch, width, Method::MtLr, &no_rules);
+            let lr = run(arch, width, Method::MtLr, &base);
+            println!(
+                "{:<12} {:>5} {:>14} {:>14} {:>16} {:>14}",
+                arch, width, fo, xor_only, lr_no_rule, lr
+            );
+        }
+    }
+}

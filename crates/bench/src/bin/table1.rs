@@ -1,0 +1,27 @@
+//! Regenerates Table I of the paper: verification run-times for multipliers
+//! with **simple partial products** across the SAT-miter baseline (the
+//! commercial-CEC substitute), MT-FO and MT-LR.
+//!
+//! Configure with `GBMV_WIDTHS`, `GBMV_TIMEOUT_SECS`, `GBMV_MAX_TERMS`,
+//! `GBMV_CEC_CONFLICTS` (see the crate docs of `gbmv-bench`).
+
+use gbmv_bench::{
+    print_comparison_header, print_comparison_row, run_algebraic, run_cec, table1_architectures,
+    HarnessConfig,
+};
+use gbmv_core::Method;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    print_comparison_header(
+        "Table I: verification results for simple partial product multipliers",
+    );
+    for &width in &config.widths {
+        for arch in table1_architectures() {
+            let cec = run_cec(arch, width, &config);
+            let (fo, _) = run_algebraic(arch, width, Method::MtFo, &config);
+            let (lr, _) = run_algebraic(arch, width, Method::MtLr, &config);
+            print_comparison_row(arch, width, &cec, &fo, &lr);
+        }
+    }
+}

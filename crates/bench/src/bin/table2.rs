@@ -1,0 +1,26 @@
+//! Regenerates Table II of the paper: verification run-times for multipliers
+//! with **Booth partial products**. The CPP column of the paper is not
+//! applicable to Booth multipliers (marked "-" there) and is not reproduced.
+//!
+//! Configure with the `GBMV_*` environment variables (see `gbmv-bench`).
+
+use gbmv_bench::{
+    print_comparison_header, print_comparison_row, run_algebraic, run_cec, table2_architectures,
+    HarnessConfig,
+};
+use gbmv_core::Method;
+
+fn main() {
+    let config = HarnessConfig::from_env();
+    print_comparison_header(
+        "Table II: verification results for Booth partial product multipliers",
+    );
+    for &width in &config.widths {
+        for arch in table2_architectures() {
+            let cec = run_cec(arch, width, &config);
+            let (fo, _) = run_algebraic(arch, width, Method::MtFo, &config);
+            let (lr, _) = run_algebraic(arch, width, Method::MtLr, &config);
+            print_comparison_row(arch, width, &cec, &fo, &lr);
+        }
+    }
+}

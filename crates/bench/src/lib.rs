@@ -1,0 +1,233 @@
+//! Shared harness for regenerating the paper's tables.
+//!
+//! The binaries `table1`, `table2`, `table3` and `ablation` print the rows of
+//! the corresponding tables of the paper; the Criterion benches measure the
+//! same workloads at small widths so `cargo bench` finishes in minutes.
+//!
+//! Run-time configuration is taken from environment variables so the same
+//! binaries scale from a smoke test to the full experiment:
+//!
+//! * `GBMV_WIDTHS` — comma-separated operand widths (default `8,16`).
+//! * `GBMV_TIMEOUT_SECS` — per-instance budget in seconds (default `60`).
+//! * `GBMV_MAX_TERMS` — polynomial term limit (default `2000000`).
+//! * `GBMV_CEC_CONFLICTS` — conflict budget of the SAT miter baseline
+//!   (default `200000`).
+
+use std::time::{Duration, Instant};
+
+use gbmv_core::{verify_multiplier, Method, Outcome, Report, VerifyConfig};
+use gbmv_genmul::MultiplierSpec;
+use gbmv_sat::{check_against_product, EquivalenceResult};
+
+/// Run-time configuration of the table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Operand widths to sweep.
+    pub widths: Vec<usize>,
+    /// Per-instance wall-clock budget.
+    pub timeout: Duration,
+    /// Polynomial term limit for the algebraic methods.
+    pub max_terms: usize,
+    /// Conflict budget of the SAT miter baseline.
+    pub cec_conflicts: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            widths: vec![8, 16],
+            timeout: Duration::from_secs(60),
+            max_terms: 2_000_000,
+            cec_conflicts: 200_000,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Reads the configuration from the `GBMV_*` environment variables,
+    /// falling back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = HarnessConfig::default();
+        if let Ok(widths) = std::env::var("GBMV_WIDTHS") {
+            let parsed: Vec<usize> = widths
+                .split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .collect();
+            if !parsed.is_empty() {
+                config.widths = parsed;
+            }
+        }
+        if let Ok(secs) = std::env::var("GBMV_TIMEOUT_SECS") {
+            if let Ok(secs) = secs.trim().parse::<u64>() {
+                config.timeout = Duration::from_secs(secs);
+            }
+        }
+        if let Ok(terms) = std::env::var("GBMV_MAX_TERMS") {
+            if let Ok(terms) = terms.trim().parse::<usize>() {
+                config.max_terms = terms;
+            }
+        }
+        if let Ok(conflicts) = std::env::var("GBMV_CEC_CONFLICTS") {
+            if let Ok(conflicts) = conflicts.trim().parse::<u64>() {
+                config.cec_conflicts = conflicts;
+            }
+        }
+        config
+    }
+
+    /// The verification configuration corresponding to this harness
+    /// configuration.
+    pub fn verify_config(&self) -> VerifyConfig {
+        VerifyConfig {
+            max_terms: self.max_terms,
+            timeout: self.timeout,
+            extract_counterexample: false,
+            ..VerifyConfig::default()
+        }
+    }
+}
+
+/// One measured cell of a table: the wall-clock time and how the run ended.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Elapsed wall-clock time.
+    pub elapsed: Duration,
+    /// `"ok"`, `"TO"` (resource limit) or `"FAIL"` (unexpected mismatch).
+    pub status: &'static str,
+}
+
+impl Cell {
+    /// Formats the cell like the paper's `h:mm:ss` column, or `TO`.
+    pub fn display(&self) -> String {
+        match self.status {
+            "ok" => format_duration(self.elapsed),
+            other => other.to_string(),
+        }
+    }
+}
+
+/// Formats a duration as `h:mm:ss.milli`.
+pub fn format_duration(d: Duration) -> String {
+    let total = d.as_secs();
+    let hours = total / 3600;
+    let minutes = (total % 3600) / 60;
+    let seconds = total % 60;
+    let millis = d.subsec_millis();
+    format!("{hours}:{minutes:02}:{seconds:02}.{millis:03}")
+}
+
+/// Runs one algebraic verification instance and reports the cell plus the
+/// full report (for Table III statistics).
+pub fn run_algebraic(
+    arch: &str,
+    width: usize,
+    method: Method,
+    config: &HarnessConfig,
+) -> (Cell, Report) {
+    let spec = MultiplierSpec::parse(arch, width)
+        .unwrap_or_else(|| panic!("unknown architecture {arch}"));
+    let netlist = spec.build();
+    let start = Instant::now();
+    let report = verify_multiplier(&netlist, width, method, &config.verify_config());
+    let elapsed = start.elapsed();
+    let status = match report.outcome {
+        Outcome::Verified => "ok",
+        Outcome::ResourceLimit { .. } => "TO",
+        Outcome::Mismatch { .. } => "FAIL",
+    };
+    (Cell { elapsed, status }, report)
+}
+
+/// Runs the SAT miter baseline (the "Commercial"/ABC `cec` substitute).
+pub fn run_cec(arch: &str, width: usize, config: &HarnessConfig) -> Cell {
+    let spec = MultiplierSpec::parse(arch, width)
+        .unwrap_or_else(|| panic!("unknown architecture {arch}"));
+    let netlist = spec.build();
+    let start = Instant::now();
+    let result = check_against_product(&netlist, width, Some(config.cec_conflicts));
+    let elapsed = start.elapsed();
+    let status = match result {
+        EquivalenceResult::Equivalent => "ok",
+        EquivalenceResult::Unknown => "TO",
+        EquivalenceResult::NotEquivalent(_) => "FAIL",
+    };
+    Cell { elapsed, status }
+}
+
+/// The simple-partial-product architectures of Table I.
+pub fn table1_architectures() -> Vec<&'static str> {
+    vec!["SP-AR-RC", "SP-WT-CL", "SP-RT-KS", "SP-CT-BK", "SP-DT-HC"]
+}
+
+/// The Booth-partial-product architectures of Table II.
+pub fn table2_architectures() -> Vec<&'static str> {
+    vec!["BP-AR-RC", "BP-WT-CL", "BP-RT-KS", "BP-CT-BK", "BP-DT-HC"]
+}
+
+/// The architectures whose MT-LR statistics Table III reports.
+pub fn table3_architectures() -> Vec<&'static str> {
+    vec!["BP-WT-CL", "BP-RT-KS", "SP-DT-HC", "SP-CT-BK"]
+}
+
+/// Prints a table header for the per-method comparison tables.
+pub fn print_comparison_header(title: &str) {
+    println!("{title}");
+    println!(
+        "{:<12} {:>7} {:>14} {:>14} {:>14}",
+        "Benchmark", "I/O", "CEC(SAT)", "MT-FO", "MT-LR"
+    );
+}
+
+/// Prints one row of a comparison table.
+pub fn print_comparison_row(arch: &str, width: usize, cec: &Cell, fo: &Cell, lr: &Cell) {
+    println!(
+        "{:<12} {:>3}/{:<3} {:>14} {:>14} {:>14}",
+        arch,
+        width,
+        2 * width,
+        cec.display(),
+        fo.display(),
+        lr.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_millis(1500)), "0:00:01.500");
+        assert_eq!(format_duration(Duration::from_secs(3661)), "1:01:01.000");
+    }
+
+    #[test]
+    fn architectures_listed() {
+        assert_eq!(table1_architectures().len(), 5);
+        assert_eq!(table2_architectures().len(), 5);
+        assert!(table1_architectures().iter().all(|a| a.starts_with("SP")));
+        assert!(table2_architectures().iter().all(|a| a.starts_with("BP")));
+    }
+
+    #[test]
+    fn small_instance_runs_end_to_end() {
+        let config = HarnessConfig {
+            widths: vec![4],
+            timeout: Duration::from_secs(30),
+            max_terms: 500_000,
+            cec_conflicts: 100_000,
+        };
+        let (cell, report) = run_algebraic("SP-AR-RC", 4, Method::MtLr, &config);
+        assert_eq!(cell.status, "ok");
+        assert!(report.outcome.is_verified());
+        let cec = run_cec("SP-AR-RC", 4, &config);
+        assert_eq!(cec.status, "ok");
+    }
+
+    #[test]
+    fn env_config_defaults() {
+        let config = HarnessConfig::default();
+        assert_eq!(config.widths, vec![8, 16]);
+        assert!(config.timeout >= Duration::from_secs(1));
+    }
+}

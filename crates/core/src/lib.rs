@@ -1,0 +1,53 @@
+//! Membership-testing verification of integer arithmetic circuits by
+//! symbolic computer algebra.
+//!
+//! This crate implements the algorithm of *"Formal Verification of Integer
+//! Multipliers by Combining Gröbner Basis with Logic Reduction"* (Sayed-Ahmed
+//! et al., DATE 2016):
+//!
+//! 1. **Modeling** ([`AlgebraicModel`]): every gate of the netlist is turned
+//!    into a polynomial `g := -z + tail(g)` over Boolean variables; ordering
+//!    the variables in reverse topological order makes the model a Gröbner
+//!    basis by construction.
+//! 2. **Rewriting** ([`rewrite`]): the model is rewritten against a keep-set
+//!    of variables using repeated S-polynomial substitution ("GB-Rew",
+//!    Algorithm 2 of the paper). Three schemes are provided — *fanout
+//!    rewriting* (the MT-FO baseline of Farahmandi & Alizadeh), *XOR
+//!    rewriting* with the **XOR-AND vanishing rule** and *common rewriting*;
+//!    XOR followed by common rewriting is the paper's *logic reduction
+//!    rewriting* (Algorithm 3).
+//! 3. **Gröbner basis reduction** ([`reduction`], Algorithm 1): the
+//!    specification polynomial is divided by the rewritten model following
+//!    the reverse topological substitution order; the circuit is correct iff
+//!    the remainder is zero (modulo `2^(2n)` for multipliers).
+//!
+//! The user-facing entry points are [`verify_multiplier`], [`verify_adder`]
+//! and the lower-level [`Verifier`].
+//!
+//! # Example
+//!
+//! ```
+//! use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+//! use gbmv_genmul::MultiplierSpec;
+//!
+//! let netlist = MultiplierSpec::parse("SP-WT-CL", 4).unwrap().build();
+//! let report = verify_multiplier(&netlist, 4, Method::MtLr, &VerifyConfig::default());
+//! assert!(report.outcome.is_verified());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+pub mod reduction;
+pub mod rewrite;
+mod vanishing;
+mod verify;
+
+pub use model::{AlgebraicModel, GateFunction};
+pub use reduction::{GbReduction, ReductionOutcome, ReductionStats};
+pub use rewrite::{RewriteConfig, RewriteStats, RewritingScheme};
+pub use vanishing::{VanishingRules, VanishingTracker};
+pub use verify::{
+    verify_adder, verify_multiplier, Method, Outcome, Report, RunStats, Verifier, VerifyConfig,
+};

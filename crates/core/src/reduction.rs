@@ -1,0 +1,327 @@
+//! Gröbner basis reduction (Algorithm 1 of the paper).
+//!
+//! The specification polynomial is divided by the circuit model: every
+//! iteration substitutes one gate-output variable by the tail of its gate
+//! polynomial, following the reverse topological substitution order. Because
+//! every model polynomial has the shape `-v + tail(v)` and the leading
+//! monomials are relatively prime, the S-polynomial step degenerates into
+//! variable substitution ([`gbmv_poly::Polynomial::substitute`]).
+//!
+//! The reduction tracks the statistics the paper reports (peak intermediate
+//! size, number of substitutions, run time) and supports resource limits so
+//! that intentionally diverging configurations (e.g. MT-FO on a Kogge-Stone
+//! multiplier) terminate with [`ReductionOutcome::LimitExceeded`] instead of
+//! exhausting memory.
+
+use std::time::{Duration, Instant};
+
+use gbmv_poly::{Polynomial, Var};
+
+use crate::model::AlgebraicModel;
+use crate::vanishing::VanishingTracker;
+
+/// Why a reduction run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReductionOutcome {
+    /// All substitutions were performed; the remainder is final.
+    Completed,
+    /// The intermediate polynomial exceeded the configured term limit.
+    LimitExceeded {
+        /// Number of terms when the limit was hit.
+        terms: usize,
+    },
+    /// The configured wall-clock budget was exhausted.
+    TimedOut,
+}
+
+impl ReductionOutcome {
+    /// Returns `true` if the reduction ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, ReductionOutcome::Completed)
+    }
+}
+
+/// Statistics of one Gröbner basis reduction run.
+#[derive(Debug, Clone, Default)]
+pub struct ReductionStats {
+    /// Number of variable substitutions performed.
+    pub substitutions: usize,
+    /// Peak number of terms of the intermediate remainder.
+    pub peak_terms: usize,
+    /// Number of terms of the final remainder (before modulo reduction).
+    pub final_terms: usize,
+    /// Wall-clock time of the reduction.
+    pub elapsed: Duration,
+}
+
+/// The Gröbner basis reduction engine.
+#[derive(Debug, Clone)]
+pub struct GbReduction {
+    /// Abort when the intermediate remainder exceeds this many terms.
+    pub max_terms: usize,
+    /// Abort when the reduction exceeds this wall-clock budget.
+    pub timeout: Duration,
+}
+
+impl Default for GbReduction {
+    fn default() -> Self {
+        GbReduction {
+            max_terms: 5_000_000,
+            timeout: Duration::from_secs(3600),
+        }
+    }
+}
+
+impl GbReduction {
+    /// Creates a reduction engine with explicit limits.
+    pub fn new(max_terms: usize, timeout: Duration) -> Self {
+        GbReduction { max_terms, timeout }
+    }
+
+    /// Reduces (divides) `spec` with respect to the model, following the
+    /// model's substitution order (reverse topological). Returns the
+    /// remainder, the outcome and the collected statistics.
+    ///
+    /// The remainder only mentions primary-input variables when the outcome
+    /// is [`ReductionOutcome::Completed`] and the model still contains a
+    /// polynomial for every internal variable of `spec`'s cone.
+    pub fn reduce(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        let order = model.substitution_order();
+        self.reduce_with_order(model, spec, &order)
+    }
+
+    /// Like [`GbReduction::reduce`] but applying the structural vanishing
+    /// rules after every substitution. At the synthesized gate level the
+    /// reduction can re-create vanishing monomials by multiplying tails of
+    /// different (individually clean) model polynomials; removing them here
+    /// is the same logic reduction the paper applies during rewriting and is
+    /// what keeps redundant-binary trees and wide parallel-prefix adders from
+    /// blowing up during Step 3. The monomials removed are added to the
+    /// tracker's cancelled count (`#CVM`).
+    pub fn reduce_with_vanishing(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        tracker: &mut VanishingTracker,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        let order = model.substitution_order();
+        self.reduce_inner(model, spec, &order, Some(tracker))
+    }
+
+    /// Like [`GbReduction::reduce`] but with an explicit substitution order,
+    /// used by the tests that reproduce the paper's worked examples.
+    pub fn reduce_with_order(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        order: &[Var],
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        self.reduce_inner(model, spec, order, None)
+    }
+
+    fn reduce_inner(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        order: &[Var],
+        mut tracker: Option<&mut VanishingTracker>,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        let start = Instant::now();
+        let mut stats = ReductionStats::default();
+        let mut r = spec.clone();
+        stats.peak_terms = r.num_terms();
+        for &v in order {
+            if model.is_input(v) {
+                continue;
+            }
+            if !r.contains_var(v) {
+                continue;
+            }
+            let tail = match model.tail(v) {
+                Some(t) => t,
+                None => continue,
+            };
+            r = r.substitute(v, tail);
+            stats.substitutions += 1;
+            if let Some(t) = tracker.as_deref_mut() {
+                t.apply(&mut r);
+            }
+            stats.peak_terms = stats.peak_terms.max(r.num_terms());
+            if r.num_terms() > self.max_terms {
+                stats.final_terms = r.num_terms();
+                stats.elapsed = start.elapsed();
+                return (
+                    r,
+                    ReductionOutcome::LimitExceeded {
+                        terms: stats.peak_terms,
+                    },
+                    stats,
+                );
+            }
+            if start.elapsed() > self.timeout {
+                stats.final_terms = r.num_terms();
+                stats.elapsed = start.elapsed();
+                return (r, ReductionOutcome::TimedOut, stats);
+            }
+        }
+        stats.final_terms = r.num_terms();
+        stats.elapsed = start.elapsed();
+        (r, ReductionOutcome::Completed, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmv_netlist::Netlist;
+    use gbmv_poly::spec::{adder_spec, full_adder_spec};
+    use gbmv_poly::{Int, Monomial};
+
+    fn full_adder_netlist() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let x = nl.xor2(a, b, "x");
+        let s = nl.xor2(x, cin, "s");
+        let d = nl.and2(a, b, "d");
+        let t = nl.and2(x, cin, "t");
+        let c = nl.or2(d, t, "c");
+        nl.add_output("s", s);
+        nl.add_output("c", c);
+        nl
+    }
+
+    /// Example 1 of the paper: reducing the full adder specification
+    /// `-2c - s + cin + b + a` by the circuit model gives remainder 0.
+    #[test]
+    fn full_adder_reduces_to_zero() {
+        let nl = full_adder_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let var = |name: &str| Var(nl.find_net(name).unwrap().0);
+        let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
+        let (r, outcome, stats) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero(), "remainder must vanish, got {}", model.render(&r));
+        assert_eq!(stats.substitutions, 5);
+        assert!(stats.peak_terms >= 5);
+    }
+
+    #[test]
+    fn faulty_full_adder_has_nonzero_remainder() {
+        let mut nl = Netlist::new("fa_bad");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let x = nl.xor2(a, b, "x");
+        let s = nl.xor2(x, cin, "s");
+        let d = nl.and2(a, b, "d");
+        let t = nl.or2(x, cin, "t"); // BUG: should be AND
+        let c = nl.or2(d, t, "c");
+        nl.add_output("s", s);
+        nl.add_output("c", c);
+        let model = AlgebraicModel::from_netlist(&nl);
+        let var = |name: &str| Var(nl.find_net(name).unwrap().0);
+        let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(!r.is_zero(), "buggy adder must not verify");
+        // The remainder only mentions primary inputs.
+        for v in r.vars() {
+            assert!(model.is_input(v), "remainder must be over inputs only");
+        }
+    }
+
+    /// A 3-bit ripple carry adder verifies without any rewriting (the circuit
+    /// of Example 2, on the raw gate-level model).
+    #[test]
+    fn ripple_carry_adder_3bit_reduces_to_zero() {
+        let nl = gbmv_genmul::build_adder(3, gbmv_genmul::AdderKind::RippleCarry, false);
+        let model = AlgebraicModel::from_netlist(&nl);
+        let a: Vec<Var> = (0..3)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b: Vec<Var> = (0..3)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s: Vec<Var> = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let spec = adder_spec(&a, &b, &s, None);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero());
+    }
+
+    /// A Kogge-Stone adder also reduces to zero on the raw model at small
+    /// width (the blow-up only bites at larger widths / multipliers).
+    #[test]
+    fn kogge_stone_adder_4bit_reduces_to_zero() {
+        let nl = gbmv_genmul::build_adder(4, gbmv_genmul::AdderKind::KoggeStone, false);
+        let model = AlgebraicModel::from_netlist(&nl);
+        let a: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s: Vec<Var> = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let spec = adder_spec(&a, &b, &s, None);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn term_limit_aborts_reduction() {
+        let nl = gbmv_genmul::MultiplierSpec::parse("SP-WT-KS", 8)
+            .unwrap()
+            .build();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let a: Vec<Var> = (0..8)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b: Vec<Var> = (0..8)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s: Vec<Var> = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let spec = gbmv_poly::spec::multiplier_spec(&a, &b, &s);
+        let engine = GbReduction::new(50, Duration::from_secs(60));
+        let (_, outcome, stats) = engine.reduce(&model, &spec);
+        assert!(matches!(outcome, ReductionOutcome::LimitExceeded { .. }));
+        assert!(stats.peak_terms > 50);
+    }
+
+    #[test]
+    fn explicit_order_matches_default_for_full_adder() {
+        let nl = full_adder_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let var = |name: &str| Var(nl.find_net(name).unwrap().0);
+        let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
+        let order = model.substitution_order();
+        let (r1, o1, _) = GbReduction::default().reduce(&model, &spec);
+        let (r2, o2, _) = GbReduction::default().reduce_with_order(&model, &spec, &order);
+        assert_eq!(r1, r2);
+        assert!(o1.is_completed() && o2.is_completed());
+    }
+
+    #[test]
+    fn constant_gates_are_substituted() {
+        let mut nl = Netlist::new("const");
+        let a = nl.add_input("a");
+        let zero = nl.const0("zero");
+        let z = nl.or2(a, zero, "z");
+        nl.add_output("z", z);
+        let model = AlgebraicModel::from_netlist(&nl);
+        // spec: z - a == 0.
+        let spec = Polynomial::from_terms(vec![
+            (Monomial::var(Var(z.0)), Int::from(-1)),
+            (Monomial::var(Var(a.0)), Int::one()),
+        ]);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero());
+    }
+}

@@ -1,0 +1,363 @@
+//! Gröbner basis rewriting (Step 2 of the membership testing algorithm).
+//!
+//! Rewriting is not required for soundness but is what makes the reduction of
+//! large integer circuits feasible: it substitutes "uninteresting" internal
+//! variables away so that the model depends only on a keep-set `V`, giving
+//! common carry terms a chance to cancel during the subsequent reduction, and
+//! — in XOR rewriting — removing vanishing monomials with the XOR-AND rule
+//! before they can blow up.
+//!
+//! Three keep-set schemes are provided (Section II-B and IV-B of the paper):
+//!
+//! * [`RewritingScheme::Fanout`] — fanout variables + primary I/O. This is
+//!   the MT-FO baseline of Farahmandi & Alizadeh.
+//! * [`RewritingScheme::Xor`] — XOR-gate inputs/outputs + primary I/O, with
+//!   the vanishing rule applied after every substitution.
+//! * [`RewritingScheme::Common`] — variables shared by more than one model
+//!   polynomial + primary I/O.
+//!
+//! The paper's *logic reduction rewriting* (Algorithm 3) is the sequential
+//! application of XOR rewriting followed by common rewriting; see
+//! [`logic_reduction_rewriting`].
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use gbmv_poly::Var;
+
+use crate::model::AlgebraicModel;
+use crate::vanishing::{VanishingRules, VanishingTracker};
+
+/// The keep-set selection schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewritingScheme {
+    /// Keep fanout variables (MT-FO baseline).
+    Fanout,
+    /// Keep XOR inputs/outputs and apply the vanishing rule (first half of
+    /// MT-LR).
+    Xor,
+    /// Keep variables shared between polynomials (second half of MT-LR).
+    Common,
+}
+
+/// Configuration of a rewriting pass.
+#[derive(Debug, Clone)]
+pub struct RewriteConfig {
+    /// Which structural vanishing rules to apply (only used by schemes that
+    /// enable the rule, i.e. XOR rewriting).
+    pub rules: VanishingRules,
+    /// Abort when any tail polynomial exceeds this many terms.
+    pub max_terms: usize,
+    /// Abort when the rewriting pass exceeds this wall-clock budget.
+    pub timeout: Duration,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig {
+            rules: VanishingRules::default(),
+            max_terms: 5_000_000,
+            timeout: Duration::from_secs(3600),
+        }
+    }
+}
+
+/// Statistics of one or more rewriting passes.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteStats {
+    /// Total number of variable substitutions performed.
+    pub substitutions: usize,
+    /// Number of monomials removed by the vanishing rule (`#CVM`).
+    pub cancelled_vanishing: u64,
+    /// Number of polynomials removed from the model (`UpdateModel`).
+    pub removed_polynomials: usize,
+    /// Peak number of terms of any tail during rewriting.
+    pub peak_terms: usize,
+    /// Wall-clock time spent rewriting.
+    pub elapsed: Duration,
+    /// True if the pass hit a resource limit and the model is only partially
+    /// rewritten (still sound, but reduction may blow up).
+    pub limit_exceeded: bool,
+}
+
+impl RewriteStats {
+    fn merge(&mut self, other: &RewriteStats) {
+        self.substitutions += other.substitutions;
+        self.cancelled_vanishing += other.cancelled_vanishing;
+        self.removed_polynomials += other.removed_polynomials;
+        self.peak_terms = self.peak_terms.max(other.peak_terms);
+        self.elapsed += other.elapsed;
+        self.limit_exceeded |= other.limit_exceeded;
+    }
+}
+
+/// Computes the keep-set `V` of a scheme for the current model.
+pub fn keep_set(model: &AlgebraicModel, scheme: RewritingScheme) -> HashSet<Var> {
+    match scheme {
+        RewritingScheme::Fanout => model.fanout_keep_set(),
+        RewritingScheme::Xor => model.xor_keep_set(),
+        RewritingScheme::Common => model.common_keep_set(),
+    }
+}
+
+/// Gröbner basis rewriting (Algorithm 2, `GB-Rew`).
+///
+/// Rewrites every polynomial of the model so that its tail only mentions
+/// variables in `keep` (or primary inputs), substituting other variables with
+/// their gate polynomials. When `vanishing` is provided, the XOR-AND rule is
+/// applied after every substitution. Finally, polynomials whose leading
+/// variables are not in `keep` and are not primary outputs are removed from
+/// the model.
+pub fn gb_rewrite(
+    model: &mut AlgebraicModel,
+    keep: &HashSet<Var>,
+    mut vanishing: Option<&mut VanishingTracker>,
+    config: &RewriteConfig,
+) -> RewriteStats {
+    let start = Instant::now();
+    let mut stats = RewriteStats::default();
+    // "in reverse order of their leading monomial variables": with the
+    // monomial order being the reverse topological order of the circuit, this
+    // means processing the polynomials from the inputs side towards the
+    // outputs, so tails that are substituted in have already been rewritten.
+    let order = model.polynomial_order();
+    for v in order {
+        let mut tail = match model.tail(v) {
+            Some(t) => t.clone(),
+            None => continue,
+        };
+        loop {
+            if start.elapsed() > config.timeout {
+                stats.limit_exceeded = true;
+                break;
+            }
+            // Choose the substitution candidate with the smallest tail, as the
+            // paper prescribes; break ties by variable index for determinism.
+            let candidate = tail
+                .vars()
+                .into_iter()
+                .filter(|u| !keep.contains(u) && !model.is_input(*u) && model.tail(*u).is_some())
+                .min_by_key(|u| {
+                    (
+                        model.tail(*u).map(|t| t.num_terms()).unwrap_or(usize::MAX),
+                        u.0,
+                    )
+                });
+            let vt = match candidate {
+                Some(u) => u,
+                None => break,
+            };
+            let replacement = model.tail(vt).expect("candidate has a tail").clone();
+            tail = tail.substitute(vt, &replacement);
+            stats.substitutions += 1;
+            if let Some(tracker) = vanishing.as_deref_mut() {
+                let removed = tracker.apply(&mut tail);
+                stats.cancelled_vanishing += removed as u64;
+            }
+            stats.peak_terms = stats.peak_terms.max(tail.num_terms());
+            if tail.num_terms() > config.max_terms {
+                stats.limit_exceeded = true;
+                break;
+            }
+        }
+        model.set_tail(v, tail);
+        if stats.limit_exceeded {
+            break;
+        }
+    }
+    // UpdateModel: drop polynomials whose leading variable was substituted
+    // away (not kept and not a primary output).
+    if !stats.limit_exceeded {
+        let order = model.polynomial_order();
+        for v in order {
+            if !keep.contains(&v) && !model.is_output(v) {
+                model.remove(v);
+                stats.removed_polynomials += 1;
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// Fanout rewriting: the Step-2 scheme of the MT-FO baseline.
+pub fn fanout_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
+    let keep = keep_set(model, RewritingScheme::Fanout);
+    gb_rewrite(model, &keep, None, config)
+}
+
+/// XOR rewriting with the XOR-AND vanishing rule (first half of MT-LR).
+pub fn xor_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
+    let keep = keep_set(model, RewritingScheme::Xor);
+    let mut tracker = VanishingTracker::new(model, config.rules);
+    gb_rewrite(model, &keep, Some(&mut tracker), config)
+}
+
+/// Common rewriting (second half of MT-LR).
+pub fn common_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
+    let keep = keep_set(model, RewritingScheme::Common);
+    gb_rewrite(model, &keep, None, config)
+}
+
+/// Logic reduction rewriting (Algorithm 3): XOR rewriting followed by common
+/// rewriting. This is the paper's contribution (the Step 2 used by MT-LR).
+pub fn logic_reduction_rewriting(
+    model: &mut AlgebraicModel,
+    config: &RewriteConfig,
+) -> RewriteStats {
+    let mut stats = xor_rewriting(model, config);
+    if !stats.limit_exceeded {
+        let common = common_rewriting(model, config);
+        stats.merge(&common);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::GbReduction;
+    use gbmv_genmul::{build_adder, AdderKind, MultiplierSpec};
+    use gbmv_netlist::Netlist;
+    use gbmv_poly::spec::{adder_spec, multiplier_spec};
+
+    fn adder_vars(nl: &Netlist, width: usize) -> (Vec<Var>, Vec<Var>, Vec<Var>) {
+        let a = (0..width)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b = (0..width)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        (a, b, s)
+    }
+
+    /// Example 2 of the paper: after fanout rewriting, the 3-bit ripple carry
+    /// adder model depends only on carries, inputs and outputs and the
+    /// reduction still yields remainder zero.
+    #[test]
+    fn fanout_rewriting_ripple_carry_adder() {
+        let nl = build_adder(3, AdderKind::RippleCarry, false);
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        let polys_before = model.num_polynomials();
+        let stats = fanout_rewriting(&mut model, &RewriteConfig::default());
+        assert!(!stats.limit_exceeded);
+        assert!(stats.removed_polynomials > 0);
+        assert!(model.num_polynomials() < polys_before);
+        // All tails now depend only on kept variables or primary inputs.
+        let keep = keep_set(&model, RewritingScheme::Fanout);
+        for v in model.polynomial_order() {
+            for u in model.tail(v).unwrap().vars() {
+                assert!(
+                    keep.contains(&u) || model.is_input(u),
+                    "tail of {} still mentions {}",
+                    model.name(v),
+                    model.name(u)
+                );
+            }
+        }
+        let (a, b, s) = adder_vars(&nl, 3);
+        let spec = adder_spec(&a, &b, &s, None);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero());
+    }
+
+    /// Example 3 / Section IV of the paper: XOR rewriting cancels the
+    /// vanishing monomials of a parallel-prefix (Kogge-Stone) adder.
+    #[test]
+    fn xor_rewriting_cancels_vanishing_monomials_on_prefix_adder() {
+        let nl = build_adder(8, AdderKind::KoggeStone, false);
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        let stats = xor_rewriting(&mut model, &RewriteConfig::default());
+        assert!(!stats.limit_exceeded);
+        assert!(
+            stats.cancelled_vanishing > 0,
+            "a Kogge-Stone adder must produce vanishing monomials"
+        );
+        let (a, b, s) = adder_vars(&nl, 8);
+        let spec = adder_spec(&a, &b, &s, None);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        assert!(r.is_zero());
+    }
+
+    /// Ripple-carry circuits contain only a handful of local vanishing
+    /// monomials (one per full adder), far fewer than a parallel-prefix adder
+    /// of the same width — the paper's Section III observation.
+    #[test]
+    fn ripple_carry_has_fewer_vanishing_monomials_than_kogge_stone() {
+        let width = 8;
+        let rc = build_adder(width, AdderKind::RippleCarry, false);
+        let mut rc_model = AlgebraicModel::from_netlist(&rc);
+        let rc_stats = xor_rewriting(&mut rc_model, &RewriteConfig::default());
+        assert!(rc_stats.cancelled_vanishing <= width as u64);
+
+        let ks = build_adder(width, AdderKind::KoggeStone, false);
+        let mut ks_model = AlgebraicModel::from_netlist(&ks);
+        let ks_stats = xor_rewriting(&mut ks_model, &RewriteConfig::default());
+        assert!(
+            ks_stats.cancelled_vanishing > rc_stats.cancelled_vanishing,
+            "Kogge-Stone ({}) must produce more vanishing monomials than ripple carry ({})",
+            ks_stats.cancelled_vanishing,
+            rc_stats.cancelled_vanishing
+        );
+    }
+
+    #[test]
+    fn logic_reduction_rewriting_multiplier_verifies() {
+        let nl = MultiplierSpec::parse("SP-WT-BK", 4).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        let stats = logic_reduction_rewriting(&mut model, &RewriteConfig::default());
+        assert!(!stats.limit_exceeded);
+        let a: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s: Vec<Var> = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let spec = multiplier_spec(&a, &b, &s);
+        let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
+        assert!(outcome.is_completed());
+        let r = r.drop_multiples_of_pow2(8);
+        assert!(r.is_zero(), "remainder: {}", model.render(&r));
+    }
+
+    #[test]
+    fn rewriting_preserves_output_polynomials() {
+        let nl = build_adder(4, AdderKind::BrentKung, false);
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        logic_reduction_rewriting(&mut model, &RewriteConfig::default());
+        for &out in model.outputs() {
+            assert!(
+                model.tail(out).is_some(),
+                "primary output {} must keep its polynomial",
+                model.name(out)
+            );
+        }
+    }
+
+    #[test]
+    fn term_limit_marks_partial_rewrite() {
+        let nl = MultiplierSpec::parse("SP-WT-KS", 8).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        let config = RewriteConfig {
+            max_terms: 3,
+            ..RewriteConfig::default()
+        };
+        let stats = fanout_rewriting(&mut model, &config);
+        assert!(stats.limit_exceeded);
+    }
+
+    #[test]
+    fn common_rewriting_reduces_model_size() {
+        let nl = MultiplierSpec::parse("SP-CT-BK", 4).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl);
+        let config = RewriteConfig::default();
+        xor_rewriting(&mut model, &config);
+        let before = model.num_polynomials();
+        common_rewriting(&mut model, &config);
+        assert!(model.num_polynomials() <= before);
+    }
+}

@@ -1,0 +1,286 @@
+use std::collections::HashMap;
+
+use gbmv_netlist::GateKind;
+use gbmv_poly::{Monomial, Polynomial, Var};
+
+use crate::model::AlgebraicModel;
+
+/// Which structural zero-product rules are applied while rewriting.
+///
+/// The paper's rule is `xor_and`: a monomial containing both `a ⊕ b` and
+/// `a ∧ b` always evaluates to zero. The `xor_both_inputs` extension
+/// (`(a⊕b)·a·b = 0`) is enabled by default because at the synthesized gate
+/// level the AND output is frequently substituted (inlined to `a·b`) before
+/// the paired XOR variable enters the same monomial; matching the inlined
+/// form is required to catch those vanishing monomials and is semantically
+/// the same rule. The `xor_nor` extension is disabled by default and exposed
+/// for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VanishingRules {
+    /// `(a ⊕ b) · (a ∧ b) = 0` — the XOR-AND rule of the paper.
+    pub xor_and: bool,
+    /// `(a ⊕ b) · a · b = 0` — extension using the XOR inputs directly.
+    pub xor_both_inputs: bool,
+    /// `(a ⊕ b) · (a NOR b) = 0` — extension for NOR-based carry logic.
+    pub xor_nor: bool,
+}
+
+impl Default for VanishingRules {
+    fn default() -> Self {
+        VanishingRules {
+            xor_and: true,
+            xor_both_inputs: true,
+            xor_nor: false,
+        }
+    }
+}
+
+impl VanishingRules {
+    /// Every rule enabled (used by the ablation benches).
+    pub fn all() -> Self {
+        VanishingRules {
+            xor_and: true,
+            xor_both_inputs: true,
+            xor_nor: true,
+        }
+    }
+
+    /// Every rule disabled (logic reduction off; degenerates MT-LR into plain
+    /// XOR + common rewriting).
+    pub fn none() -> Self {
+        VanishingRules {
+            xor_and: false,
+            xor_both_inputs: false,
+            xor_nor: false,
+        }
+    }
+}
+
+/// An index over the structural gate definitions that answers "does this
+/// monomial contain a pair of variables that makes it vanish?" quickly.
+///
+/// The tracker also counts how many monomials it removed (`#CVM` in
+/// Table III of the paper).
+#[derive(Debug)]
+pub struct VanishingTracker {
+    rules: VanishingRules,
+    /// AND outputs by their (sorted) input pair.
+    and_outputs: HashMap<(Var, Var), Vec<Var>>,
+    /// NOR outputs by their (sorted) input pair.
+    nor_outputs: HashMap<(Var, Var), Vec<Var>>,
+    /// For every variable that is the output of a 2-input XOR gate, its input
+    /// pair.
+    xor_inputs: HashMap<Var, (Var, Var)>,
+    cancelled: u64,
+}
+
+impl VanishingTracker {
+    /// Builds the tracker from the structural gate information of a model.
+    pub fn new(model: &AlgebraicModel, rules: VanishingRules) -> Self {
+        let mut and_outputs: HashMap<(Var, Var), Vec<Var>> = HashMap::new();
+        let mut nor_outputs: HashMap<(Var, Var), Vec<Var>> = HashMap::new();
+        let mut xor_inputs = HashMap::new();
+        for (&out, gf) in model.gate_functions() {
+            if gf.inputs.len() != 2 {
+                continue;
+            }
+            let pair = (gf.inputs[0], gf.inputs[1]);
+            match gf.kind {
+                GateKind::Xor => {
+                    xor_inputs.insert(out, pair);
+                }
+                GateKind::And => {
+                    and_outputs.entry(pair).or_default().push(out);
+                }
+                GateKind::Nor => {
+                    nor_outputs.entry(pair).or_default().push(out);
+                }
+                _ => {}
+            }
+        }
+        VanishingTracker {
+            rules,
+            and_outputs,
+            nor_outputs,
+            xor_inputs,
+            cancelled: 0,
+        }
+    }
+
+    /// The number of monomials removed so far (`#CVM`).
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Returns `true` if the monomial is structurally guaranteed to evaluate
+    /// to zero under every consistent circuit assignment.
+    pub fn monomial_vanishes(&self, monomial: &Monomial) -> bool {
+        if monomial.degree() < 2 {
+            return false;
+        }
+        for v in monomial.vars() {
+            if let Some(&(a, b)) = self.xor_inputs.get(&v) {
+                if self.rules.xor_and {
+                    if let Some(ands) = self.and_outputs.get(&(a, b)) {
+                        if ands.iter().any(|w| *w != v && monomial.contains(*w)) {
+                            return true;
+                        }
+                    }
+                }
+                if self.rules.xor_both_inputs && monomial.contains(a) && monomial.contains(b) {
+                    return true;
+                }
+                if self.rules.xor_nor {
+                    if let Some(nors) = self.nor_outputs.get(&(a, b)) {
+                        if nors.iter().any(|w| *w != v && monomial.contains(*w)) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes all vanishing monomials from the polynomial in place,
+    /// returning the number of removed terms (`XORAND-Rule(r)` in
+    /// Algorithm 2 of the paper).
+    pub fn apply(&mut self, p: &mut Polynomial) -> usize {
+        if !(self.rules.xor_and || self.rules.xor_both_inputs || self.rules.xor_nor) {
+            return 0;
+        }
+        let removed = p.retain_terms(|m| !self.monomial_vanishes(m));
+        self.cancelled += removed as u64;
+        removed
+    }
+
+    /// Exposes the XOR pairs index size, useful for reporting.
+    pub fn xor_gate_count(&self) -> usize {
+        self.xor_inputs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmv_netlist::Netlist;
+    use gbmv_poly::Int;
+
+    /// A tiny parallel-prefix carry structure: X = a^b, D = a&b, N = a nor b.
+    fn xd_netlist() -> (Netlist, Var, Var, Var, Var, Var) {
+        let mut nl = Netlist::new("xd");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.xor2(a, b, "x");
+        let d = nl.and2(a, b, "d");
+        let n = nl.add_gate(GateKind::Nor, &[a, b], "n");
+        let z = nl.or2(x, d, "z");
+        let z2 = nl.or2(z, n, "z2");
+        nl.add_output("z2", z2);
+        (
+            nl.clone(),
+            Var(a.0),
+            Var(b.0),
+            Var(x.0),
+            Var(d.0),
+            Var(n.0),
+        )
+    }
+
+    #[test]
+    fn xor_and_monomial_vanishes() {
+        let (nl, _a, _b, x, d, _n) = xd_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let tracker = VanishingTracker::new(&model, VanishingRules::default());
+        assert!(tracker.monomial_vanishes(&Monomial::from_vars(vec![x, d])));
+        assert!(!tracker.monomial_vanishes(&Monomial::from_vars(vec![x])));
+        assert!(!tracker.monomial_vanishes(&Monomial::from_vars(vec![d])));
+    }
+
+    #[test]
+    fn extended_rules_only_when_enabled() {
+        let (nl, a, b, x, _d, n) = xd_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let default_tracker = VanishingTracker::new(&model, VanishingRules::default());
+        assert!(default_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, a, b])));
+        assert!(!default_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, n])));
+        let paper_only = VanishingRules {
+            xor_and: true,
+            xor_both_inputs: false,
+            xor_nor: false,
+        };
+        let paper_tracker = VanishingTracker::new(&model, paper_only);
+        assert!(!paper_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, a, b])));
+        let all_tracker = VanishingTracker::new(&model, VanishingRules::all());
+        assert!(all_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, a, b])));
+        assert!(all_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, n])));
+        let none_tracker = VanishingTracker::new(&model, VanishingRules::none());
+        assert!(!none_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, _d])));
+    }
+
+    #[test]
+    fn apply_removes_and_counts() {
+        let (nl, a, _b, x, d, _n) = xd_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let mut tracker = VanishingTracker::new(&model, VanishingRules::default());
+        let mut p = Polynomial::from_terms(vec![
+            (Monomial::from_vars(vec![x, d]), Int::from(7)),
+            (Monomial::from_vars(vec![x, d, a]), Int::from(-3)),
+            (Monomial::from_vars(vec![x, a]), Int::from(5)),
+        ]);
+        let removed = tracker.apply(&mut p);
+        assert_eq!(removed, 2);
+        assert_eq!(tracker.cancelled(), 2);
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.coeff(&Monomial::from_vars(vec![x, a])), Int::from(5));
+    }
+
+    #[test]
+    fn vanishing_is_semantically_sound() {
+        // Exhaustively check that monomials flagged as vanishing indeed
+        // evaluate to zero under every consistent circuit assignment.
+        let (nl, a, b, x, d, n) = xd_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let tracker = VanishingTracker::new(&model, VanishingRules::all());
+        let candidates = [
+            Monomial::from_vars(vec![x, d]),
+            Monomial::from_vars(vec![x, a, b]),
+            Monomial::from_vars(vec![x, n]),
+            Monomial::from_vars(vec![x, d, n]),
+        ];
+        for m in &candidates {
+            assert!(tracker.monomial_vanishes(m));
+            for pattern in 0..4u32 {
+                let av = pattern & 1 == 1;
+                let bv = pattern & 2 != 0;
+                let assignment = |v: Var| {
+                    if v == a {
+                        av
+                    } else if v == b {
+                        bv
+                    } else if v == x {
+                        av ^ bv
+                    } else if v == d {
+                        av && bv
+                    } else if v == n {
+                        !(av || bv)
+                    } else {
+                        false
+                    }
+                };
+                assert!(
+                    !m.eval_bool(&assignment),
+                    "monomial {m} flagged as vanishing but evaluates to 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_gate_count_reported() {
+        let (nl, ..) = xd_netlist();
+        let model = AlgebraicModel::from_netlist(&nl);
+        let tracker = VanishingTracker::new(&model, VanishingRules::default());
+        assert_eq!(tracker.xor_gate_count(), 1);
+    }
+}

@@ -1,0 +1,764 @@
+//! Partial product accumulators.
+//!
+//! An accumulator reduces the partial product matrix to two rows that are then
+//! summed by the final-stage adder. The architectures match the AMG families
+//! used in the paper:
+//!
+//! * [`reduce_array`] — a linear chain of carry-save adders (array multiplier).
+//! * [`reduce_wallace`] — Wallace tree (group every three bits per column).
+//! * [`reduce_dadda`] — Dadda tree (reduce to the Dadda height sequence).
+//! * [`reduce_compressor42`] — a tree of (4,2) compressors.
+//! * [`reduce_redundant_binary`] — a redundant-binary (carry-free) addition
+//!   tree over (plus, minus) digit vectors with a final conversion that is
+//!   only congruent to the true sum modulo `2^(2n)` (see `DESIGN.md` for the
+//!   substitution notes).
+
+use gbmv_netlist::{GateKind, NetId, Netlist};
+
+use crate::cells::{compressor42, full_adder, half_adder};
+use crate::partial::PartialProducts;
+
+/// The result of accumulation: two rows of `2n` bits each (missing positions
+/// filled with a shared constant-zero net) to be added by the final adder.
+#[derive(Debug, Clone)]
+pub struct ReducedRows {
+    /// First addend row, `2n` bits, LSB first.
+    pub row_a: Vec<NetId>,
+    /// Second addend row, `2n` bits, LSB first.
+    pub row_b: Vec<NetId>,
+}
+
+/// Shared constant nets used while filling incomplete rows.
+struct Consts {
+    zero: Option<NetId>,
+    one: Option<NetId>,
+}
+
+impl Consts {
+    fn new() -> Self {
+        Consts {
+            zero: None,
+            one: None,
+        }
+    }
+    fn zero(&mut self, nl: &mut Netlist) -> NetId {
+        *self
+            .zero
+            .get_or_insert_with(|| nl.add_gate(GateKind::Const0, &[], "const_zero"))
+    }
+    fn one(&mut self, nl: &mut Netlist) -> NetId {
+        *self
+            .one
+            .get_or_insert_with(|| nl.add_gate(GateKind::Const1, &[], "const_one"))
+    }
+}
+
+/// Reduces per-column bit lists until every column holds at most two bits,
+/// using full/half adders according to `wallace` (true: group aggressively
+/// every stage; false: Dadda-style, reduce only down to the next target
+/// height).
+fn reduce_columns(
+    nl: &mut Netlist,
+    mut columns: Vec<Vec<NetId>>,
+    dadda: bool,
+    tag: &str,
+) -> Vec<Vec<NetId>> {
+    // Dadda height sequence: 2, 3, 4, 6, 9, 13, 19, 28, ...
+    let mut dadda_heights = vec![2usize];
+    while *dadda_heights.last().expect("non-empty") < 1024 {
+        let last = *dadda_heights.last().expect("non-empty");
+        dadda_heights.push(last * 3 / 2);
+    }
+    let mut stage = 0;
+    loop {
+        let max_height = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+        if max_height <= 2 {
+            return columns;
+        }
+        let target = if dadda {
+            // Largest Dadda height strictly below the current height.
+            *dadda_heights
+                .iter()
+                .rev()
+                .find(|&&h| h < max_height)
+                .expect("sequence starts at 2")
+        } else {
+            // Wallace: reduce as much as possible this stage (ceil(h * 2/3)).
+            2
+        };
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); columns.len()];
+        for (col, bits) in columns.iter().enumerate() {
+            let mut idx = 0;
+            let remaining_ok = |len: usize, next_len: usize, target: usize| {
+                // For Dadda, stop compressing once the bits left in this
+                // column (plus carries already scheduled into it) fit the
+                // target height.
+                len + next_len <= target
+            };
+            while bits.len() - idx >= 3 {
+                if dadda && remaining_ok(bits.len() - idx, next[col].len(), target) {
+                    break;
+                }
+                let fa = full_adder(
+                    nl,
+                    bits[idx],
+                    bits[idx + 1],
+                    bits[idx + 2],
+                    &format!("{tag}_s{stage}_fa{col}_{idx}"),
+                );
+                next[col].push(fa.sum);
+                if col + 1 < next.len() {
+                    next[col + 1].push(fa.carry);
+                }
+                idx += 3;
+            }
+            if bits.len() - idx == 2 {
+                let compress = if dadda {
+                    !remaining_ok(2, next[col].len(), target)
+                } else {
+                    // Wallace also compresses pairs when the column is taller
+                    // than the target.
+                    bits.len() > 2
+                };
+                if compress {
+                    let ha = half_adder(
+                        nl,
+                        bits[idx],
+                        bits[idx + 1],
+                        &format!("{tag}_s{stage}_ha{col}"),
+                    );
+                    next[col].push(ha.sum);
+                    if col + 1 < next.len() {
+                        next[col + 1].push(ha.carry);
+                    }
+                    idx += 2;
+                }
+            }
+            // Pass through whatever is left.
+            for &bit in &bits[idx..] {
+                next[col].push(bit);
+            }
+        }
+        columns = next;
+        stage += 1;
+        assert!(stage < 1000, "column reduction did not converge");
+    }
+}
+
+fn columns_to_rows(nl: &mut Netlist, columns: Vec<Vec<NetId>>, consts: &mut Consts) -> ReducedRows {
+    let mut row_a = Vec::with_capacity(columns.len());
+    let mut row_b = Vec::with_capacity(columns.len());
+    for col in columns {
+        assert!(col.len() <= 2, "columns must be reduced to height <= 2");
+        row_a.push(col.first().copied().unwrap_or_else(|| consts.zero(nl)));
+        row_b.push(col.get(1).copied().unwrap_or_else(|| consts.zero(nl)));
+    }
+    ReducedRows { row_a, row_b }
+}
+
+/// Wallace-tree accumulation (`WT`).
+pub fn reduce_wallace(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRows {
+    let mut consts = Consts::new();
+    let columns = reduce_columns(nl, pps.to_columns(), false, "wt");
+    columns_to_rows(nl, columns, &mut consts)
+}
+
+/// Dadda-tree accumulation (`DT`).
+pub fn reduce_dadda(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRows {
+    let mut consts = Consts::new();
+    let columns = reduce_columns(nl, pps.to_columns(), true, "dt");
+    columns_to_rows(nl, columns, &mut consts)
+}
+
+/// Array accumulation (`AR`): partial product rows are folded one after the
+/// other into a carry-save accumulator, giving a linear reduction chain just
+/// like the classic array multiplier.
+pub fn reduce_array(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRows {
+    let mut consts = Consts::new();
+    let width = 2 * pps.width;
+    // The accumulator holds, per column, at most two bits (sum row + carry row).
+    let mut acc: Vec<Vec<NetId>> = vec![Vec::new(); width];
+    for (r, row) in pps.rows.iter().enumerate() {
+        for &(col, bit) in row {
+            if col < width {
+                acc[col].push(bit);
+            }
+        }
+        // Compress every column back to height <= 2 with a linear CSA stage.
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); width];
+        for col in 0..width {
+            let bits = &acc[col];
+            let mut idx = 0;
+            while bits.len() - idx + next[col].len() > 2 {
+                if bits.len() - idx >= 3 {
+                    let fa = full_adder(
+                        nl,
+                        bits[idx],
+                        bits[idx + 1],
+                        bits[idx + 2],
+                        &format!("ar_r{r}_fa{col}_{idx}"),
+                    );
+                    next[col].push(fa.sum);
+                    if col + 1 < width {
+                        next[col + 1].push(fa.carry);
+                    }
+                    idx += 3;
+                } else if bits.len() - idx == 2 {
+                    let ha = half_adder(nl, bits[idx], bits[idx + 1], &format!("ar_r{r}_ha{col}"));
+                    next[col].push(ha.sum);
+                    if col + 1 < width {
+                        next[col + 1].push(ha.carry);
+                    }
+                    idx += 2;
+                } else {
+                    break;
+                }
+            }
+            for &bit in &bits[idx..] {
+                next[col].push(bit);
+            }
+        }
+        acc = next;
+    }
+    // A final clean-up pass in case carries pushed a column above two bits.
+    let columns = reduce_columns(nl, acc, false, "ar_fix");
+    columns_to_rows(nl, columns, &mut consts)
+}
+
+/// (4,2)-compressor-tree accumulation (`CT`).
+///
+/// Rows are reduced four at a time by a column-wise chain of (4,2)
+/// compressors; the tree repeats until at most two rows remain. Leftover rows
+/// (fewer than four) fall back to carry-save adders.
+pub fn reduce_compressor42(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRows {
+    let mut consts = Consts::new();
+    let width = 2 * pps.width;
+    // Represent the working set as rows of optional bits (None = zero).
+    let mut rows: Vec<Vec<Option<NetId>>> = pps
+        .rows
+        .iter()
+        .map(|row| {
+            let mut bits = vec![None; width];
+            for &(col, bit) in row {
+                if col < width {
+                    // A row may carry two bits in one column (Booth correction);
+                    // push the extra bit into a separate row below.
+                    if bits[col].is_none() {
+                        bits[col] = Some(bit);
+                    } else {
+                        // handled after the loop by creating overflow rows
+                    }
+                }
+            }
+            bits
+        })
+        .collect();
+    // Booth correction bits that collided with an existing bit get their own rows.
+    for (r, row) in pps.rows.iter().enumerate() {
+        let mut seen = vec![false; width];
+        let mut overflow: Vec<Option<NetId>> = vec![None; width];
+        let mut has_overflow = false;
+        for &(col, bit) in row {
+            if col < width {
+                if seen[col] {
+                    overflow[col] = Some(bit);
+                    has_overflow = true;
+                } else {
+                    seen[col] = true;
+                    // ensure rows[r] actually holds the first bit
+                    let _ = &rows[r];
+                }
+            }
+        }
+        if has_overflow {
+            rows.push(overflow);
+        }
+    }
+    let mut level = 0;
+    while rows.len() > 2 {
+        let mut next: Vec<Vec<Option<NetId>>> = Vec::new();
+        let mut chunk_index = 0;
+        let mut iter = rows.chunks(4);
+        for chunk in &mut iter {
+            match chunk.len() {
+                4 => {
+                    let mut out_sum: Vec<Option<NetId>> = vec![None; width];
+                    let mut out_carry: Vec<Option<NetId>> = vec![None; width];
+                    let mut cin: Option<NetId> = None;
+                    for col in 0..width {
+                        let bits: Vec<NetId> = (0..4).filter_map(|r| chunk[r][col]).collect();
+                        let cin_net = cin.take();
+                        let present = bits.len() + usize::from(cin_net.is_some());
+                        match present {
+                            0 => {}
+                            1 => {
+                                out_sum[col] = bits.first().copied().or(cin_net);
+                            }
+                            2 => {
+                                let x = bits[0];
+                                let y = bits.get(1).copied().or(cin_net).expect("two bits");
+                                let ha =
+                                    half_adder(nl, x, y, &format!("ct{level}_{chunk_index}_ha{col}"));
+                                out_sum[col] = Some(ha.sum);
+                                if col + 1 < width {
+                                    out_carry[col + 1] = Some(ha.carry);
+                                }
+                            }
+                            3 => {
+                                let mut all = bits.clone();
+                                if let Some(c) = cin_net {
+                                    all.push(c);
+                                }
+                                let fa = full_adder(
+                                    nl,
+                                    all[0],
+                                    all[1],
+                                    all[2],
+                                    &format!("ct{level}_{chunk_index}_fa{col}"),
+                                );
+                                out_sum[col] = Some(fa.sum);
+                                if col + 1 < width {
+                                    out_carry[col + 1] = Some(fa.carry);
+                                }
+                            }
+                            _ => {
+                                // 4 or 5 inputs: use the (4,2) compressor with a
+                                // constant zero for any missing operand.
+                                let mut all = bits.clone();
+                                while all.len() < 4 {
+                                    all.push(consts.zero(nl));
+                                }
+                                let cin_net = cin_net.unwrap_or_else(|| consts.zero(nl));
+                                let comp = compressor42(
+                                    nl,
+                                    all[0],
+                                    all[1],
+                                    all[2],
+                                    all[3],
+                                    cin_net,
+                                    &format!("ct{level}_{chunk_index}_c{col}"),
+                                );
+                                out_sum[col] = Some(comp.sum);
+                                if col + 1 < width {
+                                    out_carry[col + 1] = Some(comp.carry);
+                                }
+                                cin = Some(comp.cout);
+                                continue;
+                            }
+                        }
+                        // For the non-compressor cases no new chain carry is produced.
+                    }
+                    next.push(out_sum);
+                    next.push(out_carry);
+                }
+                3 => {
+                    let mut out_sum: Vec<Option<NetId>> = vec![None; width];
+                    let mut out_carry: Vec<Option<NetId>> = vec![None; width];
+                    for col in 0..width {
+                        let bits: Vec<NetId> = (0..3).filter_map(|r| chunk[r][col]).collect();
+                        match bits.len() {
+                            0 => {}
+                            1 => out_sum[col] = Some(bits[0]),
+                            2 => {
+                                let ha = half_adder(
+                                    nl,
+                                    bits[0],
+                                    bits[1],
+                                    &format!("ct{level}_{chunk_index}_ha3_{col}"),
+                                );
+                                out_sum[col] = Some(ha.sum);
+                                if col + 1 < width {
+                                    out_carry[col + 1] = Some(ha.carry);
+                                }
+                            }
+                            _ => {
+                                let fa = full_adder(
+                                    nl,
+                                    bits[0],
+                                    bits[1],
+                                    bits[2],
+                                    &format!("ct{level}_{chunk_index}_fa3_{col}"),
+                                );
+                                out_sum[col] = Some(fa.sum);
+                                if col + 1 < width {
+                                    out_carry[col + 1] = Some(fa.carry);
+                                }
+                            }
+                        }
+                    }
+                    next.push(out_sum);
+                    next.push(out_carry);
+                }
+                _ => {
+                    for row in chunk {
+                        next.push(row.clone());
+                    }
+                }
+            }
+            chunk_index += 1;
+        }
+        rows = next;
+        level += 1;
+        assert!(level < 100, "compressor tree did not converge");
+    }
+    // Convert the remaining one or two rows into column lists.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); width];
+    for row in &rows {
+        for (col, bit) in row.iter().enumerate() {
+            if let Some(b) = bit {
+                columns[col].push(*b);
+            }
+        }
+    }
+    columns_to_rows(nl, columns, &mut consts)
+}
+
+/// Redundant-binary addition tree (`RT`).
+///
+/// Every redundant-binary (RB) number is a pair of bit vectors `(P, M)` with
+/// value `P - M`. Partial product rows are paired into RB leaves
+/// `(P = r1, M = ~r2)` and RB numbers are added pairwise in a balanced binary
+/// tree; each tree node compresses `P1, P2, ~M1, ~M2` with carry-save logic
+/// into `(S, C)` and outputs the RB number `(S, ~C)`. All `+1`/`-1`
+/// corrections of the complement arithmetic are accumulated numerically and
+/// injected as a single constant vector before the final conversion
+/// `P - M = P + ~M + 1 (mod 2^(2n))`, which the final-stage adder performs.
+///
+/// The returned rows are the `P` vector and the bitwise complement of `M`
+/// together with the correction constant already carry-saved in, so the
+/// caller only needs one carry-propagate addition — mirroring how RB
+/// multipliers use a single fast adder for the RB-to-binary conversion. The
+/// result is congruent to the true sum modulo `2^(2n)`.
+pub fn reduce_redundant_binary(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRows {
+    let mut consts = Consts::new();
+    let width = 2 * pps.width;
+    // Expand rows into dense vectors of column bits (with possible extra rows
+    // for Booth correction bits that share a column).
+    let mut dense_rows: Vec<Vec<Option<NetId>>> = Vec::new();
+    for row in &pps.rows {
+        let mut main = vec![None; width];
+        let mut extra = vec![None; width];
+        let mut has_extra = false;
+        for &(col, bit) in row {
+            if col >= width {
+                continue;
+            }
+            if main[col].is_none() {
+                main[col] = Some(bit);
+            } else {
+                extra[col] = Some(bit);
+                has_extra = true;
+            }
+        }
+        dense_rows.push(main);
+        if has_extra {
+            dense_rows.push(extra);
+        }
+    }
+    // Correction (value to subtract at the end), accumulated modulo 2^width.
+    let mut correction: u128 = 0;
+    let modulus_mask: u128 = if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+
+    /// A redundant binary number: value = P - M (mod 2^width).
+    struct Rb {
+        p: Vec<NetId>,
+        m: Vec<NetId>,
+    }
+
+    let to_filled = |nl: &mut Netlist, consts: &mut Consts, row: &[Option<NetId>]| -> Vec<NetId> {
+        row.iter()
+            .map(|b| b.unwrap_or_else(|| consts.zero(nl)))
+            .collect()
+    };
+
+    // Build leaves: pair rows (r1, r2) -> (P = r1, M = ~r2) with value
+    // r1 + r2 + 1 - 2^width  ==  r1 + r2 + 1 (mod), so correction += 1.
+    // A leftover unpaired row becomes (P = r, M = 0) with no correction.
+    let mut nodes: Vec<Rb> = Vec::new();
+    let mut i = 0;
+    let mut leaf = 0;
+    while i < dense_rows.len() {
+        if i + 1 < dense_rows.len() {
+            let p = to_filled(nl, &mut consts, &dense_rows[i]);
+            let m: Vec<NetId> = dense_rows[i + 1]
+                .iter()
+                .enumerate()
+                .map(|(col, b)| match b {
+                    Some(bit) => nl.not1(*bit, format!("rt_leaf{leaf}_n{col}")),
+                    None => consts.one(nl),
+                })
+                .collect();
+            nodes.push(Rb { p, m });
+            correction = (correction + 1) & modulus_mask;
+            i += 2;
+        } else {
+            let p = to_filled(nl, &mut consts, &dense_rows[i]);
+            let m: Vec<NetId> = (0..width).map(|_| consts.zero(nl)).collect();
+            nodes.push(Rb { p, m });
+            i += 1;
+        }
+        leaf += 1;
+    }
+
+    // Combine nodes pairwise: value(P1-M1) + (P2-M2) = S + C + 1 where
+    // (S, C) = carry-save compression of (P1, P2, ~M1, ~M2) minus 2 (from the
+    // two complements). Output (S, ~C) has value S + C + 1; so the node is
+    // exact except for bookkeeping handled through `correction`:
+    //   out = (P1-M1)+(P2-M2) + 1   =>  correction += 1 per node.
+    let mut level = 0;
+    while nodes.len() > 1 {
+        let mut next: Vec<Rb> = Vec::new();
+        let mut iter = nodes.into_iter();
+        let mut pair_index = 0;
+        loop {
+            let first = match iter.next() {
+                Some(x) => x,
+                None => break,
+            };
+            let second = match iter.next() {
+                Some(x) => x,
+                None => {
+                    next.push(first);
+                    break;
+                }
+            };
+            let tag = format!("rt_n{level}_{pair_index}");
+            // Complement the M vectors.
+            let nm1: Vec<NetId> = first
+                .m
+                .iter()
+                .enumerate()
+                .map(|(c, &b)| nl.not1(b, format!("{tag}_nm1_{c}")))
+                .collect();
+            let nm2: Vec<NetId> = second
+                .m
+                .iter()
+                .enumerate()
+                .map(|(c, &b)| nl.not1(b, format!("{tag}_nm2_{c}")))
+                .collect();
+            // Carry-save compress the four vectors into (S, C).
+            // First layer: FA(p1, p2, nm1) -> (s1, c1<<1)
+            // Second layer: FA(s1, nm2, c1) column-wise -> (S, C<<1)
+            let mut s1 = Vec::with_capacity(width);
+            let mut c1: Vec<Option<NetId>> = vec![None; width + 1];
+            for col in 0..width {
+                let fa = full_adder(
+                    nl,
+                    first.p[col],
+                    second.p[col],
+                    nm1[col],
+                    &format!("{tag}_l1_{col}"),
+                );
+                s1.push(fa.sum);
+                c1[col + 1] = Some(fa.carry);
+            }
+            let mut s2 = Vec::with_capacity(width);
+            let mut c2: Vec<Option<NetId>> = vec![None; width + 1];
+            for col in 0..width {
+                let carry_in = c1[col];
+                match carry_in {
+                    Some(c) => {
+                        let fa =
+                            full_adder(nl, s1[col], nm2[col], c, &format!("{tag}_l2_{col}"));
+                        s2.push(fa.sum);
+                        c2[col + 1] = Some(fa.carry);
+                    }
+                    None => {
+                        let ha = half_adder(nl, s1[col], nm2[col], &format!("{tag}_l2h_{col}"));
+                        s2.push(ha.sum);
+                        c2[col + 1] = Some(ha.carry);
+                    }
+                }
+            }
+            // The complements contributed (2^width - 1 - M1) + (2^width - 1 - M2),
+            // i.e. an excess of 2*(2^width - 1) + ... ; together with reading the
+            // output as (S, ~C) the net effect per node is a "+1" (see module
+            // docs); account for it numerically.
+            // S + C == P1 + P2 + ~M1 + ~M2 == (P1 - M1) + (P2 - M2) - 2 (mod 2^w)
+            // out = S - ~C == S + C + 1 == (P1-M1)+(P2-M2) - 1 (mod 2^w)
+            // so the output is one LESS than the sum of inputs: correction -= 1.
+            let c_vec: Vec<NetId> = (0..width)
+                .map(|col| c2[col].unwrap_or_else(|| consts.zero(nl)))
+                .collect();
+            let nm_out: Vec<NetId> = c_vec
+                .iter()
+                .enumerate()
+                .map(|(c, &b)| nl.not1(b, format!("{tag}_outm_{c}")))
+                .collect();
+            next.push(Rb {
+                p: s2,
+                m: nm_out,
+            });
+            correction = correction.wrapping_sub(1) & modulus_mask;
+            pair_index += 1;
+        }
+        nodes = next;
+        level += 1;
+        assert!(level < 64, "redundant binary tree did not converge");
+    }
+
+    let final_rb = nodes.pop().expect("at least one partial product row");
+    // Final value: P - M == P + ~M + 1 (mod 2^width). Together with the
+    // accumulated `correction` (tree value == true value + correction), the
+    // true sum is P + ~M + 1 - correction (mod 2^width).
+    let nm_final: Vec<NetId> = final_rb
+        .m
+        .iter()
+        .enumerate()
+        .map(|(c, &b)| nl.not1(b, format!("rt_final_nm_{c}")))
+        .collect();
+    let const_value = (1u128.wrapping_sub(correction)) & modulus_mask;
+    let const_bits: Vec<NetId> = (0..width)
+        .map(|i| {
+            if (const_value >> i) & 1 == 1 {
+                consts.one(nl)
+            } else {
+                consts.zero(nl)
+            }
+        })
+        .collect();
+    // Carry-save the three vectors (P, ~M, const) into two rows for the final adder.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); width];
+    for col in 0..width {
+        columns[col].push(final_rb.p[col]);
+        columns[col].push(nm_final[col]);
+        columns[col].push(const_bits[col]);
+    }
+    let columns = reduce_columns(nl, columns, false, "rt_conv");
+    columns_to_rows(nl, columns, &mut consts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::{add_words, AdderKind};
+    use crate::partial::{booth_partial_products, simple_partial_products};
+
+    /// Builds a full multiplier with the given accumulator and checks it
+    /// exhaustively at 3 and 4 bits against `a*b mod 2^(2n)`.
+    fn check_accumulator(
+        reduce: fn(&mut Netlist, &PartialProducts) -> ReducedRows,
+        booth: bool,
+        widths: &[usize],
+    ) {
+        for &n in widths {
+            let mut nl = Netlist::new("acc_test");
+            let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+            let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+            let pps = if booth {
+                booth_partial_products(&mut nl, &a, &b)
+            } else {
+                simple_partial_products(&mut nl, &a, &b)
+            };
+            let rows = reduce(&mut nl, &pps);
+            let (sums, _cout) = add_words(
+                &mut nl,
+                AdderKind::RippleCarry,
+                &rows.row_a,
+                &rows.row_b,
+                None,
+                "final",
+            );
+            for (i, &s) in sums.iter().enumerate() {
+                nl.add_output(format!("s{i}"), s);
+            }
+            nl.validate().unwrap();
+            let modulus = 1u128 << (2 * n);
+            for av in 0..(1u64 << n) {
+                for bv in 0..(1u64 << n) {
+                    let got = nl.evaluate_words(&[av as u128, bv as u128], &[n, n]);
+                    assert_eq!(
+                        got,
+                        (av as u128 * bv as u128) % modulus,
+                        "{}x{} {} accumulator: {av}*{bv}",
+                        n,
+                        n,
+                        if booth { "booth" } else { "simple" }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_simple_exhaustive() {
+        check_accumulator(reduce_wallace, false, &[3, 4]);
+    }
+
+    #[test]
+    fn wallace_booth_exhaustive() {
+        check_accumulator(reduce_wallace, true, &[3, 4]);
+    }
+
+    #[test]
+    fn dadda_simple_exhaustive() {
+        check_accumulator(reduce_dadda, false, &[3, 4]);
+    }
+
+    #[test]
+    fn dadda_booth_exhaustive() {
+        check_accumulator(reduce_dadda, true, &[4]);
+    }
+
+    #[test]
+    fn array_simple_exhaustive() {
+        check_accumulator(reduce_array, false, &[3, 4]);
+    }
+
+    #[test]
+    fn array_booth_exhaustive() {
+        check_accumulator(reduce_array, true, &[4]);
+    }
+
+    #[test]
+    fn compressor42_simple_exhaustive() {
+        check_accumulator(reduce_compressor42, false, &[3, 4]);
+    }
+
+    #[test]
+    fn compressor42_booth_exhaustive() {
+        check_accumulator(reduce_compressor42, true, &[4]);
+    }
+
+    #[test]
+    fn redundant_binary_simple_exhaustive() {
+        check_accumulator(reduce_redundant_binary, false, &[3, 4]);
+    }
+
+    #[test]
+    fn redundant_binary_booth_exhaustive() {
+        check_accumulator(reduce_redundant_binary, true, &[4]);
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        use gbmv_netlist::analysis::depth;
+        let n = 16;
+        let build = |reduce: fn(&mut Netlist, &PartialProducts) -> ReducedRows| {
+            let mut nl = Netlist::new("depth_test");
+            let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+            let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+            let pps = simple_partial_products(&mut nl, &a, &b);
+            let rows = reduce(&mut nl, &pps);
+            let (sums, _) = add_words(
+                &mut nl,
+                AdderKind::KoggeStone,
+                &rows.row_a,
+                &rows.row_b,
+                None,
+                "final",
+            );
+            for (i, &s) in sums.iter().enumerate() {
+                nl.add_output(format!("s{i}"), s);
+            }
+            nl
+        };
+        let wallace = build(reduce_wallace);
+        let array = build(reduce_array);
+        assert!(depth(&wallace) < depth(&array));
+    }
+}

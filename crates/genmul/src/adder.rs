@@ -1,0 +1,452 @@
+//! Final-stage (carry-propagate) adders.
+//!
+//! The paper distinguishes multipliers by their *last stage adder*: ripple
+//! carry (RC), carry-lookahead (CL) and the parallel-prefix families
+//! Brent-Kung (BK), Kogge-Stone (KS) and Han-Carlson (HC). The parallel-prefix
+//! adders are precisely the structures whose algebraic models accumulate
+//! vanishing monomials (Example 3 of the paper), so faithful gate-level
+//! generators for them are essential for the reproduction.
+
+use gbmv_netlist::{NetId, Netlist};
+
+use crate::cells::full_adder;
+
+/// The supported carry-propagate adder architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdderKind {
+    /// Ripple-carry adder (`RC`).
+    RippleCarry,
+    /// Block carry-lookahead adder with 4-bit blocks (`CL`).
+    CarryLookAhead,
+    /// Brent-Kung parallel-prefix adder (`BK`).
+    BrentKung,
+    /// Kogge-Stone parallel-prefix adder (`KS`).
+    KoggeStone,
+    /// Han-Carlson parallel-prefix adder (`HC`).
+    HanCarlson,
+}
+
+impl AdderKind {
+    /// The two-letter abbreviation used in the paper's benchmark names.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            AdderKind::RippleCarry => "RC",
+            AdderKind::CarryLookAhead => "CL",
+            AdderKind::BrentKung => "BK",
+            AdderKind::KoggeStone => "KS",
+            AdderKind::HanCarlson => "HC",
+        }
+    }
+
+    /// All supported adder kinds.
+    pub fn all() -> [AdderKind; 5] {
+        [
+            AdderKind::RippleCarry,
+            AdderKind::CarryLookAhead,
+            AdderKind::BrentKung,
+            AdderKind::KoggeStone,
+            AdderKind::HanCarlson,
+        ]
+    }
+}
+
+impl std::fmt::Display for AdderKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Adds two equal-width bit vectors inside an existing netlist.
+///
+/// Returns the `width` sum bits and the carry out.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths or are empty.
+pub fn add_words(
+    nl: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+    cin: Option<NetId>,
+    tag: &str,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    assert!(!a.is_empty(), "operands must not be empty");
+    match kind {
+        AdderKind::RippleCarry => ripple_carry(nl, a, b, cin, tag),
+        AdderKind::CarryLookAhead => carry_lookahead(nl, a, b, cin, tag),
+        AdderKind::BrentKung | AdderKind::KoggeStone | AdderKind::HanCarlson => {
+            prefix_adder(nl, kind, a, b, cin, tag)
+        }
+    }
+}
+
+fn ripple_carry(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: Option<NetId>,
+    tag: &str,
+) -> (Vec<NetId>, NetId) {
+    let mut sums = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        match carry {
+            None => {
+                let s = nl.xor2(ai, bi, format!("{tag}_s{i}"));
+                let c = nl.and2(ai, bi, format!("{tag}_c{i}"));
+                sums.push(s);
+                carry = Some(c);
+            }
+            Some(c_in) => {
+                let fa = full_adder(nl, ai, bi, c_in, &format!("{tag}_fa{i}"));
+                sums.push(fa.sum);
+                carry = Some(fa.carry);
+            }
+        }
+    }
+    (sums, carry.expect("at least one bit position"))
+}
+
+/// Block carry-lookahead adder with 4-bit blocks.
+///
+/// Inside each block the carries are computed with two-level AND-OR lookahead
+/// logic from the generate/propagate pairs; blocks are chained through their
+/// block carry (ripple of the block carries). The propagate signals are XOR
+/// gates so that the sum bits can reuse them, which matches the structure the
+/// paper's Example 3 analyses (`X_i`/`D_i` pairs).
+fn carry_lookahead(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: Option<NetId>,
+    tag: &str,
+) -> (Vec<NetId>, NetId) {
+    let width = a.len();
+    let mut p = Vec::with_capacity(width);
+    let mut g = Vec::with_capacity(width);
+    for i in 0..width {
+        p.push(nl.xor2(a[i], b[i], format!("{tag}_p{i}")));
+        g.push(nl.and2(a[i], b[i], format!("{tag}_g{i}")));
+    }
+    let mut sums = Vec::with_capacity(width);
+    // carry[i] = carry into bit i; carry into bit 0 is `cin` (may be absent).
+    let mut block_cin = cin;
+    let mut i = 0;
+    while i < width {
+        let block = (i..width.min(i + 4)).collect::<Vec<_>>();
+        // Sum bits of the block: s_j = p_j ^ c_j.
+        // Carries inside the block: c_{j+1} = g_j | p_j g_{j-1} | ... | p_j..p_i c_in.
+        let mut carry_into = block_cin;
+        for &j in &block {
+            // Emit the sum bit for position j using the carry into j.
+            let s = match carry_into {
+                None => {
+                    // No carry in: the sum is just p_j. Reuse the net directly
+                    // to avoid a buffer gate.
+                    p[j]
+                }
+                Some(c) => nl.xor2(p[j], c, format!("{tag}_s{j}")),
+            };
+            sums.push(s);
+            // Compute the carry out of position j with flattened lookahead:
+            // c_{j+1} = g_j | p_j*g_{j-1} | ... | p_j*...*p_i * c_in(block)
+            // Build the product chains incrementally.
+            let mut terms: Vec<NetId> = vec![g[j]];
+            let mut prod = p[j];
+            for k in (block[0]..j).rev() {
+                terms.push(nl.and2(prod, g[k], format!("{tag}_la{j}_{k}")));
+                if k > block[0] {
+                    prod = nl.and2(prod, p[k], format!("{tag}_pp{j}_{k}"));
+                }
+            }
+            if let Some(c0) = block_cin {
+                let full_prod = if j == block[0] {
+                    p[j]
+                } else {
+                    nl.and2(prod, p[block[0]], format!("{tag}_ppin{j}"))
+                };
+                terms.push(nl.and2(full_prod, c0, format!("{tag}_lcin{j}")));
+            }
+            // OR-reduce the lookahead terms.
+            let mut acc = terms[0];
+            for (t_idx, &t) in terms.iter().enumerate().skip(1) {
+                acc = nl.or2(acc, t, format!("{tag}_or{j}_{t_idx}"));
+            }
+            carry_into = Some(acc);
+        }
+        block_cin = carry_into;
+        i += 4;
+    }
+    (sums, block_cin.expect("at least one bit position"))
+}
+
+/// One node of a parallel prefix network: a `(generate, propagate)` pair.
+#[derive(Debug, Clone, Copy)]
+struct Gp {
+    g: NetId,
+    p: NetId,
+}
+
+/// Combines two (g, p) pairs: `(g_hi, p_hi) o (g_lo, p_lo)`.
+fn prefix_combine(nl: &mut Netlist, hi: Gp, lo: Gp, tag: &str) -> Gp {
+    let t = nl.and2(hi.p, lo.g, format!("{tag}_t"));
+    let g = nl.or2(hi.g, t, format!("{tag}_g"));
+    let p = nl.and2(hi.p, lo.p, format!("{tag}_p"));
+    Gp { g, p }
+}
+
+/// Shared skeleton of the parallel-prefix adders. The `kind` selects the
+/// prefix network schedule (Kogge-Stone, Brent-Kung or Han-Carlson); the
+/// pre-processing (bitwise g/p), post-processing (sum = p ^ carry) and carry
+/// insertion are identical.
+fn prefix_adder(
+    nl: &mut Netlist,
+    kind: AdderKind,
+    a: &[NetId],
+    b: &[NetId],
+    cin: Option<NetId>,
+    tag: &str,
+) -> (Vec<NetId>, NetId) {
+    let width = a.len();
+    let mut p = Vec::with_capacity(width);
+    let mut g = Vec::with_capacity(width);
+    for i in 0..width {
+        p.push(nl.xor2(a[i], b[i], format!("{tag}_p{i}")));
+        g.push(nl.and2(a[i], b[i], format!("{tag}_d{i}")));
+    }
+    // cur[i] holds the (G, P) of a bit range ending at i; after the network it
+    // covers [i..0].
+    let mut cur: Vec<Gp> = (0..width).map(|i| Gp { g: g[i], p: p[i] }).collect();
+    match kind {
+        AdderKind::KoggeStone => {
+            let mut d = 1;
+            let mut level = 0;
+            while d < width {
+                let snapshot = cur.clone();
+                for i in d..width {
+                    cur[i] = prefix_combine(
+                        nl,
+                        snapshot[i],
+                        snapshot[i - d],
+                        &format!("{tag}_ks{level}_{i}"),
+                    );
+                }
+                d *= 2;
+                level += 1;
+            }
+        }
+        AdderKind::BrentKung => {
+            // Up-sweep.
+            let mut d = 1;
+            let mut level = 0;
+            while d < width {
+                let mut i = 2 * d - 1;
+                while i < width {
+                    cur[i] = prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bku{level}_{i}"));
+                    i += 2 * d;
+                }
+                d *= 2;
+                level += 1;
+            }
+            // Down-sweep.
+            d /= 2;
+            while d >= 1 {
+                let mut i = 3 * d - 1;
+                while i < width {
+                    cur[i] = prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bkd{level}_{i}"));
+                    i += 2 * d;
+                }
+                if d == 1 {
+                    break;
+                }
+                d /= 2;
+                level += 1;
+            }
+        }
+        AdderKind::HanCarlson => {
+            // Stage 1: combine odd positions with their even neighbour.
+            let snapshot = cur.clone();
+            for i in (1..width).step_by(2) {
+                cur[i] = prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hc0_{i}"));
+            }
+            // Kogge-Stone over odd positions only.
+            let mut d = 2;
+            let mut level = 1;
+            while d < width {
+                let snapshot = cur.clone();
+                for i in (1..width).step_by(2) {
+                    if i >= d {
+                        cur[i] = prefix_combine(
+                            nl,
+                            snapshot[i],
+                            snapshot[i - d],
+                            &format!("{tag}_hc{level}_{i}"),
+                        );
+                    }
+                }
+                d *= 2;
+                level += 1;
+            }
+            // Final stage: even positions (>= 2) pick up the odd prefix below.
+            let snapshot = cur.clone();
+            for i in (2..width).step_by(2) {
+                cur[i] = prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hcf_{i}"));
+            }
+            let _ = level;
+        }
+        _ => unreachable!("prefix_adder only handles prefix architectures"),
+    }
+    // Carries: carry into bit 0 is cin; carry into bit i (i>=1) is
+    // G[i-1..0] (combined with cin through P[i-1..0] when cin is present).
+    let mut carries: Vec<Option<NetId>> = Vec::with_capacity(width + 1);
+    carries.push(cin);
+    for i in 0..width {
+        let c = match cin {
+            None => cur[i].g,
+            Some(c0) => {
+                let t = nl.and2(cur[i].p, c0, format!("{tag}_cin_and{i}"));
+                nl.or2(cur[i].g, t, format!("{tag}_cin_or{i}"))
+            }
+        };
+        carries.push(Some(c));
+    }
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let s = match carries[i] {
+            None => p[i],
+            Some(c) => nl.xor2(p[i], c, format!("{tag}_s{i}")),
+        };
+        sums.push(s);
+    }
+    let cout = carries[width].expect("carry out always computed");
+    (sums, cout)
+}
+
+/// Builds a standalone `width`-bit adder netlist with inputs `a0.., b0..`
+/// (and optionally `cin`) and outputs `s0..s_width` where `s_width` is the
+/// carry out.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn build_adder(width: usize, kind: AdderKind, with_carry_in: bool) -> Netlist {
+    assert!(width > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("adder_{}_{}", kind.abbrev(), width));
+    let a: Vec<NetId> = (0..width).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..width).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let cin = if with_carry_in {
+        Some(nl.add_input("cin"))
+    } else {
+        None
+    };
+    let (sums, cout) = add_words(&mut nl, kind, &a, &b, cin, "add");
+    for (i, &s) in sums.iter().enumerate() {
+        nl.add_output(format!("s{i}"), s);
+    }
+    nl.add_output(format!("s{width}"), cout);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_adder_exhaustive(kind: AdderKind, width: usize, with_cin: bool) {
+        let nl = build_adder(width, kind, with_cin);
+        nl.validate().unwrap();
+        let limit = 1u64 << width;
+        for a in 0..limit {
+            for b in 0..limit {
+                for c in 0..if with_cin { 2 } else { 1 } {
+                    let expected = a + b + c;
+                    let got = if with_cin {
+                        nl.evaluate_words(&[a as u128, b as u128, c as u128], &[width, width, 1])
+                    } else {
+                        nl.evaluate_words(&[a as u128, b as u128], &[width, width])
+                    };
+                    assert_eq!(
+                        got, expected as u128,
+                        "{kind:?} width {width} cin {with_cin}: {a}+{b}+{c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_adders_exhaustive_small_widths() {
+        for kind in AdderKind::all() {
+            for width in [1, 2, 3, 4, 5] {
+                check_adder_exhaustive(kind, width, false);
+            }
+        }
+    }
+
+    #[test]
+    fn all_adders_exhaustive_with_carry_in() {
+        for kind in AdderKind::all() {
+            for width in [2, 4] {
+                check_adder_exhaustive(kind, width, true);
+            }
+        }
+    }
+
+    #[test]
+    fn all_adders_random_wide() {
+        let mut rng = StdRng::seed_from_u64(0xadd);
+        for kind in AdderKind::all() {
+            for width in [8, 16, 31, 32] {
+                let nl = build_adder(width, kind, false);
+                nl.validate().unwrap();
+                for _ in 0..50 {
+                    let mask = if width == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << width) - 1
+                    };
+                    let a = rng.gen::<u64>() & mask;
+                    let b = rng.gen::<u64>() & mask;
+                    let got = nl.evaluate_words(&[a as u128, b as u128], &[width, width]);
+                    assert_eq!(got, a as u128 + b as u128, "{kind:?} width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_adders_are_shallower_than_ripple() {
+        use gbmv_netlist::analysis::depth;
+        let width = 32;
+        let rc = build_adder(width, AdderKind::RippleCarry, false);
+        for kind in [
+            AdderKind::KoggeStone,
+            AdderKind::BrentKung,
+            AdderKind::HanCarlson,
+        ] {
+            let pa = build_adder(width, kind, false);
+            assert!(
+                depth(&pa) < depth(&rc),
+                "{kind:?} must be shallower than ripple carry at width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn kogge_stone_has_more_gates_than_brent_kung() {
+        let ks = build_adder(32, AdderKind::KoggeStone, false);
+        let bk = build_adder(32, AdderKind::BrentKung, false);
+        assert!(ks.gate_count() > bk.gate_count());
+    }
+
+    #[test]
+    fn abbreviations_are_distinct() {
+        let mut abbrevs: Vec<&str> = AdderKind::all().iter().map(|k| k.abbrev()).collect();
+        abbrevs.sort();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Basic arithmetic cells: half adders, full adders and (4,2) compressors.
+//!
+//! All cells are built from 2-input gates in the XOR/AND/OR decomposition the
+//! paper assumes: the sum path uses XOR gates and the carry path uses AND/OR
+//! gates, so the `XOR`-`AND` structural pairing needed by the vanishing rule is
+//! present in every generated circuit.
+
+use gbmv_netlist::{NetId, Netlist};
+
+/// Output of a half adder: `a + b = 2*carry + sum`.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfAdderOut {
+    /// The sum bit (weight 1).
+    pub sum: NetId,
+    /// The carry bit (weight 2).
+    pub carry: NetId,
+}
+
+/// Output of a full adder: `a + b + c = 2*carry + sum`.
+#[derive(Debug, Clone, Copy)]
+pub struct FullAdderOut {
+    /// The sum bit (weight 1).
+    pub sum: NetId,
+    /// The carry bit (weight 2).
+    pub carry: NetId,
+}
+
+/// Output of a (4,2) compressor: `x1+x2+x3+x4+cin = sum + 2*(carry+cout)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Compressor42Out {
+    /// The sum bit (weight 1).
+    pub sum: NetId,
+    /// The carry bit (weight 2), depends on `cin`.
+    pub carry: NetId,
+    /// The intermediate carry (weight 2), independent of `cin`; feeds the
+    /// `cin` of the next column's compressor.
+    pub cout: NetId,
+}
+
+/// Instantiates a half adder.
+pub fn half_adder(nl: &mut Netlist, a: NetId, b: NetId, tag: &str) -> HalfAdderOut {
+    let sum = nl.xor2(a, b, format!("{tag}_s"));
+    let carry = nl.and2(a, b, format!("{tag}_c"));
+    HalfAdderOut { sum, carry }
+}
+
+/// Instantiates a full adder in the standard two-half-adder decomposition:
+/// `x = a ^ b`, `sum = x ^ c`, `carry = (a & b) | (x & c)`.
+pub fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, c: NetId, tag: &str) -> FullAdderOut {
+    let x = nl.xor2(a, b, format!("{tag}_x"));
+    let sum = nl.xor2(x, c, format!("{tag}_s"));
+    let d = nl.and2(a, b, format!("{tag}_d"));
+    let t = nl.and2(x, c, format!("{tag}_t"));
+    let carry = nl.or2(d, t, format!("{tag}_c"));
+    FullAdderOut { sum, carry }
+}
+
+/// Instantiates a (4,2) compressor as two cascaded full adders.
+///
+/// The first full adder compresses `x1,x2,x3`; its carry is `cout` (the
+/// carry that ripples to the next column's compressor input). The second full
+/// adder compresses the intermediate sum with `x4` and `cin`.
+pub fn compressor42(
+    nl: &mut Netlist,
+    x1: NetId,
+    x2: NetId,
+    x3: NetId,
+    x4: NetId,
+    cin: NetId,
+    tag: &str,
+) -> Compressor42Out {
+    let fa1 = full_adder(nl, x1, x2, x3, &format!("{tag}_fa1"));
+    let fa2 = full_adder(nl, fa1.sum, x4, cin, &format!("{tag}_fa2"));
+    Compressor42Out {
+        sum: fa2.sum,
+        carry: fa2.carry,
+        cout: fa1.carry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder_truth_table() {
+        let mut nl = Netlist::new("ha");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let ha = half_adder(&mut nl, a, b, "ha0");
+        nl.add_output("s", ha.sum);
+        nl.add_output("c", ha.carry);
+        for pattern in 0..4u32 {
+            let av = pattern & 1 == 1;
+            let bv = pattern & 2 != 0;
+            let out = nl.evaluate(&[av, bv]);
+            let total = av as u32 + bv as u32;
+            assert_eq!(out[0], total & 1 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let fa = full_adder(&mut nl, a, b, c, "fa0");
+        nl.add_output("s", fa.sum);
+        nl.add_output("c", fa.carry);
+        for pattern in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
+            let total: u32 = bits.iter().map(|&b| b as u32).sum();
+            let out = nl.evaluate(&bits);
+            assert_eq!(out[0], total & 1 == 1, "sum for {bits:?}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:?}");
+        }
+    }
+
+    #[test]
+    fn compressor42_counts_ones() {
+        let mut nl = Netlist::new("c42");
+        let inputs: Vec<NetId> = (0..5).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let c = compressor42(
+            &mut nl, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], "c0",
+        );
+        nl.add_output("s", c.sum);
+        nl.add_output("c", c.carry);
+        nl.add_output("co", c.cout);
+        for pattern in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (pattern >> i) & 1 == 1).collect();
+            let total: u32 = bits.iter().map(|&b| b as u32).sum();
+            let out = nl.evaluate(&bits);
+            let value = out[0] as u32 + 2 * (out[1] as u32 + out[2] as u32);
+            assert_eq!(value, total, "compressor must preserve the count for {bits:?}");
+        }
+    }
+
+    #[test]
+    fn compressor42_cout_independent_of_cin() {
+        let mut nl = Netlist::new("c42");
+        let inputs: Vec<NetId> = (0..5).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let c = compressor42(
+            &mut nl, inputs[0], inputs[1], inputs[2], inputs[3], inputs[4], "c0",
+        );
+        nl.add_output("co", c.cout);
+        for pattern in 0..16u32 {
+            let mut bits: Vec<bool> = (0..4).map(|i| (pattern >> i) & 1 == 1).collect();
+            bits.push(false);
+            let without = nl.evaluate(&bits)[0];
+            bits[4] = true;
+            let with = nl.evaluate(&bits)[0];
+            assert_eq!(without, with, "cout must not depend on cin");
+        }
+    }
+}

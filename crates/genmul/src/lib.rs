@@ -1,0 +1,48 @@
+//! Gate-level generators for integer adders and multipliers.
+//!
+//! The paper evaluates multipliers produced by the Arithmetic Module Generator
+//! (AMG) and synthesised with Yosys. Neither tool is available offline, so this
+//! crate rebuilds the same architecture space directly at the gate level:
+//!
+//! * **Partial product generators** — simple AND matrix (`SP`) and radix-4
+//!   Booth recoding (`BP`).
+//! * **Partial product accumulators** — array (`AR`), Wallace tree (`WT`),
+//!   Dadda tree (`DT`), (4,2)-compressor tree (`CT`) and a redundant-binary
+//!   addition tree (`RT`).
+//! * **Final stage adders** — ripple-carry (`RC`), block carry-lookahead
+//!   (`CL`), Brent-Kung (`BK`), Kogge-Stone (`KS`) and Han-Carlson (`HC`).
+//!
+//! A multiplier is described by a [`MultiplierSpec`] and built into a
+//! [`gbmv_netlist::Netlist`] whose outputs are the `2n` product bits of the
+//! unsigned product `a * b mod 2^(2n)`.
+//!
+//! Every generator is validated against the arithmetic ground truth by
+//! exhaustive simulation at small widths and randomised simulation at larger
+//! widths (see the unit tests and the crate's integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use gbmv_genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
+//!
+//! let spec = MultiplierSpec::new(4, PartialProduct::Simple, Accumulator::Wallace,
+//!                                FinalAdder::BrentKung);
+//! let netlist = spec.build();
+//! assert_eq!(netlist.inputs().len(), 8);
+//! assert_eq!(netlist.outputs().len(), 8);
+//! // 5 * 7 = 35
+//! assert_eq!(netlist.evaluate_words(&[5, 7], &[4, 4]), 35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod adder;
+pub mod cells;
+pub mod partial;
+
+mod multiplier;
+
+pub use adder::{build_adder, AdderKind};
+pub use multiplier::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};

@@ -1,0 +1,309 @@
+use gbmv_netlist::{NetId, Netlist};
+
+use crate::accumulator::{
+    reduce_array, reduce_compressor42, reduce_dadda, reduce_redundant_binary, reduce_wallace,
+    ReducedRows,
+};
+use crate::adder::{add_words, AdderKind};
+use crate::partial::{booth_partial_products, simple_partial_products, PartialProducts};
+
+/// The partial product generator family (`SP` or `BP` in the paper's
+/// benchmark names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartialProduct {
+    /// Simple AND-matrix partial products (`SP`).
+    Simple,
+    /// Radix-4 Booth-recoded partial products (`BP`).
+    Booth,
+}
+
+impl PartialProduct {
+    /// The two-letter abbreviation used in the paper.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            PartialProduct::Simple => "SP",
+            PartialProduct::Booth => "BP",
+        }
+    }
+
+    /// All partial product generators.
+    pub fn all() -> [PartialProduct; 2] {
+        [PartialProduct::Simple, PartialProduct::Booth]
+    }
+}
+
+/// The partial product accumulator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Accumulator {
+    /// Array accumulation (`AR`).
+    Array,
+    /// Wallace tree (`WT`).
+    Wallace,
+    /// Dadda tree (`DT`).
+    Dadda,
+    /// (4,2)-compressor tree (`CT`).
+    Compressor42,
+    /// Redundant-binary addition tree (`RT`).
+    RedundantBinary,
+}
+
+impl Accumulator {
+    /// The two-letter abbreviation used in the paper.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Accumulator::Array => "AR",
+            Accumulator::Wallace => "WT",
+            Accumulator::Dadda => "DT",
+            Accumulator::Compressor42 => "CT",
+            Accumulator::RedundantBinary => "RT",
+        }
+    }
+
+    /// All accumulator kinds.
+    pub fn all() -> [Accumulator; 5] {
+        [
+            Accumulator::Array,
+            Accumulator::Wallace,
+            Accumulator::Dadda,
+            Accumulator::Compressor42,
+            Accumulator::RedundantBinary,
+        ]
+    }
+}
+
+/// The final-stage adder family. Alias of [`AdderKind`] to keep multiplier
+/// specifications self-describing.
+pub type FinalAdder = AdderKind;
+
+/// A complete multiplier architecture description, e.g. `SP-WT-CL 16x16`.
+///
+/// # Example
+///
+/// ```
+/// use gbmv_genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
+///
+/// let spec = MultiplierSpec::new(8, PartialProduct::Booth, Accumulator::Compressor42,
+///                                FinalAdder::KoggeStone);
+/// assert_eq!(spec.name(), "BP-CT-KS-8");
+/// let netlist = spec.build();
+/// assert_eq!(netlist.evaluate_words(&[200, 155], &[8, 8]), 200 * 155);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MultiplierSpec {
+    /// Operand width `n` (the multiplier computes `a*b mod 2^(2n)` with `2n`
+    /// output bits).
+    pub width: usize,
+    /// Partial product generator.
+    pub pp: PartialProduct,
+    /// Partial product accumulator.
+    pub acc: Accumulator,
+    /// Final-stage carry-propagate adder.
+    pub fsa: FinalAdder,
+}
+
+impl MultiplierSpec {
+    /// Creates a new multiplier specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize, pp: PartialProduct, acc: Accumulator, fsa: FinalAdder) -> Self {
+        assert!(width > 0, "multiplier width must be positive");
+        MultiplierSpec {
+            width,
+            pp,
+            acc,
+            fsa,
+        }
+    }
+
+    /// The benchmark name in the paper's convention, e.g. `SP-AR-RC-16`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.pp.abbrev(),
+            self.acc.abbrev(),
+            self.fsa.abbrev(),
+            self.width
+        )
+    }
+
+    /// The architecture name without the width, e.g. `SP-AR-RC`.
+    pub fn architecture(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.pp.abbrev(),
+            self.acc.abbrev(),
+            self.fsa.abbrev()
+        )
+    }
+
+    /// Parses an architecture string like `"SP-WT-CL"` together with a width.
+    ///
+    /// Returns `None` if any component is unknown.
+    pub fn parse(architecture: &str, width: usize) -> Option<Self> {
+        let parts: Vec<&str> = architecture.split('-').collect();
+        if parts.len() != 3 {
+            return None;
+        }
+        let pp = match parts[0] {
+            "SP" => PartialProduct::Simple,
+            "BP" => PartialProduct::Booth,
+            _ => return None,
+        };
+        let acc = match parts[1] {
+            "AR" => Accumulator::Array,
+            "WT" => Accumulator::Wallace,
+            "DT" => Accumulator::Dadda,
+            "CT" => Accumulator::Compressor42,
+            "RT" => Accumulator::RedundantBinary,
+            _ => return None,
+        };
+        let fsa = match parts[2] {
+            "RC" => AdderKind::RippleCarry,
+            "CL" => AdderKind::CarryLookAhead,
+            "BK" => AdderKind::BrentKung,
+            "KS" => AdderKind::KoggeStone,
+            "HC" => AdderKind::HanCarlson,
+            _ => return None,
+        };
+        Some(MultiplierSpec::new(width, pp, acc, fsa))
+    }
+
+    /// Builds the gate-level netlist: inputs `a0..a{n-1}`, `b0..b{n-1}`,
+    /// outputs `s0..s{2n-1}` computing `a*b mod 2^(2n)`.
+    pub fn build(&self) -> Netlist {
+        let n = self.width;
+        let mut nl = Netlist::new(self.name());
+        let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let pps: PartialProducts = match self.pp {
+            PartialProduct::Simple => simple_partial_products(&mut nl, &a, &b),
+            PartialProduct::Booth => booth_partial_products(&mut nl, &a, &b),
+        };
+        let rows: ReducedRows = match self.acc {
+            Accumulator::Array => reduce_array(&mut nl, &pps),
+            Accumulator::Wallace => reduce_wallace(&mut nl, &pps),
+            Accumulator::Dadda => reduce_dadda(&mut nl, &pps),
+            Accumulator::Compressor42 => reduce_compressor42(&mut nl, &pps),
+            Accumulator::RedundantBinary => reduce_redundant_binary(&mut nl, &pps),
+        };
+        let (sums, _cout) = add_words(&mut nl, self.fsa, &rows.row_a, &rows.row_b, None, "fsa");
+        for (i, &s) in sums.iter().enumerate() {
+            nl.add_output(format!("s{i}"), s);
+        }
+        nl
+    }
+}
+
+impl std::fmt::Display for MultiplierSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn all_architectures() -> Vec<(PartialProduct, Accumulator, FinalAdder)> {
+        let mut v = Vec::new();
+        for pp in PartialProduct::all() {
+            for acc in Accumulator::all() {
+                for fsa in AdderKind::all() {
+                    v.push((pp, acc, fsa));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn every_architecture_exhaustive_3bit() {
+        for (pp, acc, fsa) in all_architectures() {
+            let spec = MultiplierSpec::new(3, pp, acc, fsa);
+            let nl = spec.build();
+            nl.validate().unwrap();
+            let modulus = 1u128 << 6;
+            for a in 0..8u64 {
+                for b in 0..8u64 {
+                    let got = nl.evaluate_words(&[a as u128, b as u128], &[3, 3]);
+                    assert_eq!(
+                        got,
+                        (a as u128 * b as u128) % modulus,
+                        "{}: {a}*{b}",
+                        spec.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_architecture_random_8bit() {
+        let mut rng = StdRng::seed_from_u64(0x8b17);
+        for (pp, acc, fsa) in all_architectures() {
+            let spec = MultiplierSpec::new(8, pp, acc, fsa);
+            let nl = spec.build();
+            nl.validate().unwrap();
+            for _ in 0..20 {
+                let a = rng.gen_range(0..256u64);
+                let b = rng.gen_range(0..256u64);
+                let got = nl.evaluate_words(&[a as u128, b as u128], &[8, 8]);
+                assert_eq!(got, a as u128 * b as u128, "{}: {a}*{b}", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn selected_architectures_random_16bit() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for arch in ["SP-AR-RC", "SP-WT-CL", "BP-CT-BK", "BP-RT-KS", "SP-DT-HC"] {
+            let spec = MultiplierSpec::parse(arch, 16).unwrap();
+            let nl = spec.build();
+            nl.validate().unwrap();
+            for _ in 0..10 {
+                let a = rng.gen_range(0..65536u64);
+                let b = rng.gen_range(0..65536u64);
+                let got = nl.evaluate_words(&[a as u128, b as u128], &[16, 16]);
+                assert_eq!(got, a as u128 * b as u128, "{arch}: {a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for (pp, acc, fsa) in all_architectures() {
+            let spec = MultiplierSpec::new(4, pp, acc, fsa);
+            let parsed = MultiplierSpec::parse(&spec.architecture(), 4).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        assert!(MultiplierSpec::parse("XX-YY-ZZ", 4).is_none());
+        assert!(MultiplierSpec::parse("SP-AR", 4).is_none());
+    }
+
+    #[test]
+    fn name_format_matches_paper_convention() {
+        let spec = MultiplierSpec::new(
+            16,
+            PartialProduct::Simple,
+            Accumulator::Wallace,
+            FinalAdder::CarryLookAhead,
+        );
+        assert_eq!(spec.name(), "SP-WT-CL-16");
+        assert_eq!(spec.architecture(), "SP-WT-CL");
+        assert_eq!(spec.to_string(), "SP-WT-CL-16");
+    }
+
+    #[test]
+    fn booth_multiplier_has_fewer_pp_rows_but_works() {
+        // Structural sanity: the Booth multiplier at width 8 should have a
+        // different gate count from the simple one, and both must be correct
+        // (correctness covered above).
+        let sp = MultiplierSpec::parse("SP-WT-RC", 8).unwrap().build();
+        let bp = MultiplierSpec::parse("BP-WT-RC", 8).unwrap().build();
+        assert_ne!(sp.gate_count(), bp.gate_count());
+    }
+}

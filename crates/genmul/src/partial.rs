@@ -1,0 +1,297 @@
+//! Partial product generators: simple AND matrix and radix-4 Booth recoding.
+//!
+//! Both generators produce a [`PartialProducts`] structure: a list of rows,
+//! each row being a list of `(column, bit)` pairs where `column` is the power
+//! of two the bit is weighted with. Columns at weight `>= 2n` are discarded,
+//! which is sound because the multiplier specification is taken modulo
+//! `2^(2n)` (this is exactly why the paper adds the modulo to the
+//! specification for Booth multipliers).
+
+use gbmv_netlist::{NetId, Netlist};
+
+/// The partial product matrix of a multiplier, organised by rows.
+#[derive(Debug, Clone)]
+pub struct PartialProducts {
+    /// Operand width `n`.
+    pub width: usize,
+    /// Rows of `(column, bit)` pairs; column values are `< 2 * width`.
+    pub rows: Vec<Vec<(usize, NetId)>>,
+}
+
+impl PartialProducts {
+    /// Converts the row representation into per-column bit lists (length
+    /// `2 * width`).
+    pub fn to_columns(&self) -> Vec<Vec<NetId>> {
+        let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); 2 * self.width];
+        for row in &self.rows {
+            for &(col, bit) in row {
+                if col < columns.len() {
+                    columns[col].push(bit);
+                }
+            }
+        }
+        columns
+    }
+
+    /// Total number of partial product bits.
+    pub fn bit_count(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Generates the simple (AND matrix) partial products: row `i` contains
+/// `a_j & b_i` at column `i + j`.
+pub fn simple_partial_products(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> PartialProducts {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let n = a.len();
+    let mut rows = Vec::with_capacity(n);
+    for (i, &bi) in b.iter().enumerate() {
+        let mut row = Vec::with_capacity(n);
+        for (j, &aj) in a.iter().enumerate() {
+            if i + j < 2 * n {
+                let bit = nl.and2(aj, bi, format!("pp_{i}_{j}"));
+                row.push((i + j, bit));
+            }
+        }
+        rows.push(row);
+    }
+    PartialProducts { width: n, rows }
+}
+
+/// Generates radix-4 Booth-recoded partial products for the *unsigned*
+/// product `a * b mod 2^(2n)`.
+///
+/// The multiplier `b` is recoded into `m = ceil((n+1)/2)` digits
+/// `d_i ∈ {-2,-1,0,1,2}` from overlapping bit triplets
+/// `(b_{2i+1}, b_{2i}, b_{2i-1})` (out-of-range bits are zero). Row `i`
+/// contributes `d_i * a * 4^i`. Negative digits are realised as the bitwise
+/// complement of `|d_i| * a` plus a `+1` correction bit at column `2i` and
+/// sign-extension bits up to column `2n-1`; the result is therefore congruent
+/// to the true product modulo `2^(2n)`, which is why the specification
+/// polynomial must be taken modulo `2^(2n)` for Booth multipliers.
+pub fn booth_partial_products(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> PartialProducts {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let n = a.len();
+    let out_width = 2 * n;
+    let groups = (n + 2) / 2; // ceil((n+1)/2)
+    let mut rows: Vec<Vec<(usize, NetId)>> = Vec::new();
+
+    // Booth encoder per group: one, two, neg.
+    for i in 0..groups {
+        // Triplet (b_{2i+1}, b_{2i}, b_{2i-1}); None means constant zero.
+        let b_hi = b.get(2 * i + 1).copied();
+        let b_mid = b.get(2 * i).copied();
+        let b_lo = if i == 0 { None } else { b.get(2 * i - 1).copied() };
+
+        // one = b_mid ^ b_lo
+        let one = match (b_mid, b_lo) {
+            (Some(m), Some(l)) => Some(nl.xor2(m, l, format!("bo_one{i}"))),
+            (Some(m), None) => Some(m),
+            (None, Some(l)) => Some(l),
+            (None, None) => None,
+        };
+        // two = (b_hi ^ b_mid) & ~(b_mid ^ b_lo)
+        // With out-of-range bits treated as zero this simplifies per case.
+        let hi_xor_mid = match (b_hi, b_mid) {
+            (Some(h), Some(m)) => Some(nl.xor2(h, m, format!("bo_hxm{i}"))),
+            (Some(h), None) => Some(h),
+            (None, Some(m)) => Some(m),
+            (None, None) => None,
+        };
+        let two = match (hi_xor_mid, one) {
+            (Some(hx), Some(o)) => {
+                let no = nl.not1(o, format!("bo_none{i}"));
+                Some(nl.and2(hx, no, format!("bo_two{i}")))
+            }
+            (Some(hx), None) => Some(hx),
+            _ => None,
+        };
+        // neg = b_hi & ~(b_mid & b_lo)
+        let neg = match b_hi {
+            None => None,
+            Some(h) => match (b_mid, b_lo) {
+                (Some(m), Some(l)) => {
+                    let ml = nl.and2(m, l, format!("bo_ml{i}"));
+                    let nml = nl.not1(ml, format!("bo_nml{i}"));
+                    Some(nl.and2(h, nml, format!("bo_neg{i}")))
+                }
+                _ => Some(h),
+            },
+        };
+
+        // Row bits: pp_{i,j} = neg ^ ((a_j & one) | (a_{j-1} & two)) for
+        // j = 0..=n, placed at column 2i + j. Sign extension replicates `neg`
+        // from column 2i + n + 1 up to 2n - 1.
+        let mut row: Vec<(usize, NetId)> = Vec::new();
+        for j in 0..=n {
+            let col = 2 * i + j;
+            if col >= out_width {
+                break;
+            }
+            let a_j = a.get(j).copied();
+            let a_jm1 = if j == 0 { None } else { a.get(j - 1).copied() };
+            let t_one = match (a_j, one) {
+                (Some(x), Some(o)) => Some(nl.and2(x, o, format!("bs_one{i}_{j}"))),
+                _ => None,
+            };
+            let t_two = match (a_jm1, two) {
+                (Some(x), Some(t)) => Some(nl.and2(x, t, format!("bs_two{i}_{j}"))),
+                _ => None,
+            };
+            let sel = match (t_one, t_two) {
+                (Some(x), Some(y)) => Some(nl.or2(x, y, format!("bs_sel{i}_{j}"))),
+                (Some(x), None) => Some(x),
+                (None, Some(y)) => Some(y),
+                (None, None) => None,
+            };
+            let bit = match (neg, sel) {
+                (Some(ng), Some(s)) => Some(nl.xor2(ng, s, format!("bs_pp{i}_{j}"))),
+                (Some(ng), None) => Some(ng),
+                (None, Some(s)) => Some(s),
+                (None, None) => None,
+            };
+            if let Some(bit) = bit {
+                row.push((col, bit));
+            }
+        }
+        // Sign extension: replicate `neg` in the remaining columns.
+        if let Some(ng) = neg {
+            for col in (2 * i + n + 1)..out_width {
+                row.push((col, ng));
+            }
+            // Two's complement correction (+1 at the row's LSB column).
+            row.push((2 * i, ng));
+        }
+        rows.push(row);
+    }
+    PartialProducts {
+        width: n,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbmv_netlist::Netlist;
+
+    /// Sums the partial product matrix arithmetically by simulating every bit
+    /// and adding the weighted values; compares against `a * b mod 2^(2n)`.
+    fn check_partial_products(
+        booth: bool,
+        n: usize,
+        a_val: u64,
+        b_val: u64,
+    ) {
+        let mut nl = Netlist::new("pp_test");
+        let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let pps = if booth {
+            booth_partial_products(&mut nl, &a, &b)
+        } else {
+            simple_partial_products(&mut nl, &a, &b)
+        };
+        // Expose every partial product bit as an output.
+        let mut weights = Vec::new();
+        for (r, row) in pps.rows.iter().enumerate() {
+            for (k, &(col, bit)) in row.iter().enumerate() {
+                nl.add_output(format!("pp_{r}_{k}"), bit);
+                weights.push(col);
+            }
+        }
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            inputs.push((a_val >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            inputs.push((b_val >> i) & 1 == 1);
+        }
+        let outs = nl.evaluate(&inputs);
+        let mut total: u128 = 0;
+        for (&w, &bit) in weights.iter().zip(&outs) {
+            if bit {
+                total += 1u128 << w;
+            }
+        }
+        let modulus = 1u128 << (2 * n);
+        assert_eq!(
+            total % modulus,
+            (a_val as u128 * b_val as u128) % modulus,
+            "{}-bit {} PP sum for {a_val}*{b_val}",
+            n,
+            if booth { "Booth" } else { "simple" }
+        );
+    }
+
+    #[test]
+    fn simple_partial_products_exhaustive_4bit() {
+        for a in 0..16 {
+            for b in 0..16 {
+                check_partial_products(false, 4, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_partial_products_exhaustive_4bit() {
+        for a in 0..16 {
+            for b in 0..16 {
+                check_partial_products(true, 4, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_partial_products_exhaustive_3bit() {
+        for a in 0..8 {
+            for b in 0..8 {
+                check_partial_products(true, 3, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn booth_partial_products_random_8bit() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xb007);
+        for _ in 0..200 {
+            let a = rng.gen_range(0..256);
+            let b = rng.gen_range(0..256);
+            check_partial_products(true, 8, a, b);
+        }
+    }
+
+    #[test]
+    fn booth_has_fewer_rows_than_simple() {
+        let n = 8;
+        let mut nl = Netlist::new("rows");
+        let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let simple = simple_partial_products(&mut nl, &a, &b);
+        let mut nl2 = Netlist::new("rows2");
+        let a2: Vec<NetId> = (0..n).map(|i| nl2.add_input(format!("a{i}"))).collect();
+        let b2: Vec<NetId> = (0..n).map(|i| nl2.add_input(format!("b{i}"))).collect();
+        let booth = booth_partial_products(&mut nl2, &a2, &b2);
+        assert_eq!(simple.rows.len(), n);
+        assert_eq!(booth.rows.len(), n / 2 + 1);
+        assert!(booth.bit_count() > 0);
+    }
+
+    #[test]
+    fn columns_view_is_consistent() {
+        let n = 4;
+        let mut nl = Netlist::new("cols");
+        let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let pps = simple_partial_products(&mut nl, &a, &b);
+        let cols = pps.to_columns();
+        assert_eq!(cols.len(), 2 * n);
+        assert_eq!(cols.iter().map(|c| c.len()).sum::<usize>(), pps.bit_count());
+        // Column k of a simple PP matrix has min(k+1, n, 2n-1-k) bits.
+        for (k, col) in cols.iter().enumerate() {
+            let expected = (k + 1).min(n).min(2 * n - 1 - k);
+            assert_eq!(col.len(), expected, "column {k}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Fault injection for negative testing.
+//!
+//! Verification engines must not only prove correct circuits correct but also
+//! *reject* incorrect ones. The fault injector produces structurally valid but
+//! functionally (usually) different mutants of a netlist: a gate kind swap, a
+//! swapped input pair or an input rewired to another net of equal or lower
+//! logic level (to keep the circuit acyclic).
+
+use rand::Rng;
+
+use crate::analysis::logic_levels;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// The kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replace the function of a gate (e.g. XOR -> OR).
+    GateSwap {
+        /// The new gate kind.
+        new_kind: GateKind,
+    },
+    /// Rewire one input of a gate to a different net.
+    WrongWire {
+        /// Which input position is rewired.
+        input_index: usize,
+        /// The replacement net.
+        new_net: NetId,
+    },
+    /// Negate the gate function (And -> Nand, Xor -> Xnor, ...).
+    OutputNegation,
+}
+
+/// A fault: a mutation applied to one gate of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Index into [`Netlist::gates`] of the mutated gate.
+    pub gate_index: usize,
+    /// What was changed.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Applies the fault to a copy of `netlist` and returns the mutant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate index or input index is out of range.
+    pub fn apply(&self, netlist: &Netlist) -> Netlist {
+        let mut mutant = netlist.clone();
+        let gate = &mut mutant.gates_mut()[self.gate_index];
+        match self.kind {
+            FaultKind::GateSwap { new_kind } => {
+                gate.kind = new_kind;
+            }
+            FaultKind::WrongWire {
+                input_index,
+                new_net,
+            } => {
+                gate.inputs[input_index] = new_net;
+            }
+            FaultKind::OutputNegation => {
+                gate.kind = negate_kind(gate.kind);
+            }
+        }
+        mutant.set_name(format!("{}_faulty", netlist.name()));
+        mutant
+    }
+}
+
+fn negate_kind(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::And => GateKind::Nand,
+        GateKind::Nand => GateKind::And,
+        GateKind::Or => GateKind::Nor,
+        GateKind::Nor => GateKind::Or,
+        GateKind::Xor => GateKind::Xnor,
+        GateKind::Xnor => GateKind::Xor,
+        GateKind::Not => GateKind::Buf,
+        GateKind::Buf => GateKind::Not,
+        GateKind::Const0 => GateKind::Const1,
+        GateKind::Const1 => GateKind::Const0,
+    }
+}
+
+/// Draws a random fault that keeps the netlist structurally valid (acyclic,
+/// correct arities). The resulting mutant is *usually* functionally different;
+/// callers that need a guaranteed difference should check with simulation.
+///
+/// Returns `None` if the netlist has no gates.
+pub fn random_fault<R: Rng>(netlist: &Netlist, rng: &mut R) -> Option<Fault> {
+    if netlist.gate_count() == 0 {
+        return None;
+    }
+    let gate_index = rng.gen_range(0..netlist.gate_count());
+    let gate = &netlist.gates()[gate_index];
+    let choice = rng.gen_range(0..3u8);
+    let kind = match choice {
+        0 => {
+            // Swap to a different kind with the same arity class.
+            let candidates: Vec<GateKind> = match gate.kind.arity() {
+                Some(1) => vec![GateKind::Not, GateKind::Buf],
+                Some(0) => vec![GateKind::Const0, GateKind::Const1],
+                _ => vec![
+                    GateKind::And,
+                    GateKind::Or,
+                    GateKind::Xor,
+                    GateKind::Nand,
+                    GateKind::Nor,
+                    GateKind::Xnor,
+                ],
+            };
+            let candidates: Vec<GateKind> =
+                candidates.into_iter().filter(|&k| k != gate.kind).collect();
+            if candidates.is_empty() {
+                FaultKind::OutputNegation
+            } else {
+                FaultKind::GateSwap {
+                    new_kind: candidates[rng.gen_range(0..candidates.len())],
+                }
+            }
+        }
+        1 => {
+            // Rewire an input to a net with strictly lower level than the gate
+            // output to preserve acyclicity.
+            let levels = logic_levels(netlist);
+            let out_level = levels[gate.output.index()];
+            let candidates: Vec<NetId> = (0..netlist.net_count() as u32)
+                .map(NetId)
+                .filter(|n| levels[n.index()] < out_level && !gate.inputs.contains(n))
+                .collect();
+            if candidates.is_empty() || gate.inputs.is_empty() {
+                FaultKind::OutputNegation
+            } else {
+                FaultKind::WrongWire {
+                    input_index: rng.gen_range(0..gate.inputs.len()),
+                    new_net: candidates[rng.gen_range(0..candidates.len())],
+                }
+            }
+        }
+        _ => FaultKind::OutputNegation,
+    };
+    Some(Fault { gate_index, kind })
+}
+
+/// Generates a mutant that is *guaranteed* to differ from the original on at
+/// least one of `tries * 64` random patterns, retrying different faults.
+///
+/// Returns `None` if no distinguishable mutant was found (e.g. the netlist has
+/// no gates or is heavily redundant).
+pub fn distinguishable_mutant<R: Rng>(
+    netlist: &Netlist,
+    tries: usize,
+    rng: &mut R,
+) -> Option<(Fault, Netlist)> {
+    for _ in 0..tries {
+        let fault = random_fault(netlist, rng)?;
+        let mutant = fault.apply(netlist);
+        if mutant.validate().is_err() {
+            continue;
+        }
+        if crate::sim::random_equivalence_check(netlist, &mutant, 4, rng).is_some() {
+            return Some((fault, mutant));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adder2() -> Netlist {
+        // 2-bit ripple carry adder, enough structure for fault injection.
+        let mut nl = Netlist::new("add2");
+        let a0 = nl.add_input("a0");
+        let a1 = nl.add_input("a1");
+        let b0 = nl.add_input("b0");
+        let b1 = nl.add_input("b1");
+        let s0 = nl.xor2(a0, b0, "s0");
+        let c0 = nl.and2(a0, b0, "c0");
+        let x1 = nl.xor2(a1, b1, "x1");
+        let s1 = nl.xor2(x1, c0, "s1");
+        let d1 = nl.and2(a1, b1, "d1");
+        let t1 = nl.and2(x1, c0, "t1");
+        let c1 = nl.or2(d1, t1, "c1");
+        nl.add_output("s0", s0);
+        nl.add_output("s1", s1);
+        nl.add_output("c1", c1);
+        nl
+    }
+
+    #[test]
+    fn gate_swap_changes_function() {
+        let nl = adder2();
+        let fault = Fault {
+            gate_index: 0,
+            kind: FaultKind::GateSwap {
+                new_kind: GateKind::Or,
+            },
+        };
+        let mutant = fault.apply(&nl);
+        mutant.validate().unwrap();
+        // a0=1,b0=1: XOR gives 0, OR gives 1.
+        assert_ne!(
+            nl.evaluate(&[true, false, true, false]),
+            mutant.evaluate(&[true, false, true, false])
+        );
+    }
+
+    #[test]
+    fn output_negation_round_trip() {
+        for kind in GateKind::all() {
+            assert_eq!(negate_kind(negate_kind(kind)), kind);
+        }
+    }
+
+    #[test]
+    fn random_faults_are_structurally_valid() {
+        let nl = adder2();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let fault = random_fault(&nl, &mut rng).unwrap();
+            let mutant = fault.apply(&nl);
+            assert!(mutant.validate().is_ok(), "fault {fault:?} broke validity");
+        }
+    }
+
+    #[test]
+    fn distinguishable_mutant_differs() {
+        let nl = adder2();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (fault, mutant) = distinguishable_mutant(&nl, 50, &mut rng).expect("mutant found");
+        let cex = crate::sim::random_equivalence_check(&nl, &mutant, 8, &mut rng)
+            .expect("mutant must differ");
+        assert_ne!(nl.evaluate(&cex), mutant.evaluate(&cex), "fault {fault:?}");
+        assert!(mutant.name().ends_with("_faulty"));
+    }
+
+    #[test]
+    fn empty_netlist_has_no_faults() {
+        let nl = Netlist::new("empty");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_fault(&nl, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! A small line-oriented textual netlist format.
+//!
+//! The paper obtains its benchmarks as Verilog netlists synthesised by Yosys.
+//! We substitute a minimal, unambiguous exchange format so circuits can be
+//! stored on disk, diffed and re-loaded. The format is:
+//!
+//! ```text
+//! # comment
+//! module <name>
+//! input <net> [<net> ...]
+//! output <port>=<net> [<port>=<net> ...]
+//! gate <kind> <output> <input> [<input> ...]
+//! endmodule
+//! ```
+//!
+//! Net names are free-form identifiers without whitespace. Gates may appear in
+//! any order; forward references are allowed.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist, NetlistError};
+
+/// Error produced while parsing the textual netlist format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+impl ParseNetlistError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseNetlistError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Serialises a netlist into the textual format described in the module docs.
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("module {}\n", netlist.name()));
+    if !netlist.inputs().is_empty() {
+        out.push_str("input");
+        for &i in netlist.inputs() {
+            out.push(' ');
+            out.push_str(netlist.net_name(i));
+        }
+        out.push('\n');
+    }
+    if !netlist.outputs().is_empty() {
+        out.push_str("output");
+        for (name, net) in netlist.outputs() {
+            out.push(' ');
+            out.push_str(&format!("{}={}", name, netlist.net_name(*net)));
+        }
+        out.push('\n');
+    }
+    for gate in netlist.gates() {
+        out.push_str("gate ");
+        out.push_str(gate.kind.mnemonic());
+        out.push(' ');
+        out.push_str(netlist.net_name(gate.output));
+        for &inp in &gate.inputs {
+            out.push(' ');
+            out.push_str(netlist.net_name(inp));
+        }
+        out.push('\n');
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Parses the textual netlist format described in the module docs.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] describing the first syntactic or
+/// structural problem (unknown gate kind, duplicate driver, missing module
+/// header, …).
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut netlist: Option<Netlist> = None;
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut ended = false;
+
+    // Resolve a name to a net id, creating an internal net on first use.
+    fn resolve(nl: &mut Netlist, nets: &mut HashMap<String, NetId>, name: &str) -> NetId {
+        if let Some(&id) = nets.get(name) {
+            id
+        } else {
+            let id = nl.add_net(name);
+            nets.insert(name.to_string(), id);
+            id
+        }
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(ParseNetlistError::new(lineno, "content after endmodule"));
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "module" => {
+                if netlist.is_some() {
+                    return Err(ParseNetlistError::new(lineno, "duplicate module header"));
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "module requires a name"))?;
+                netlist = Some(Netlist::new(name));
+            }
+            "input" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "input before module"))?;
+                for name in tokens {
+                    if nets.contains_key(name) {
+                        return Err(ParseNetlistError::new(
+                            lineno,
+                            format!("net {name} declared twice"),
+                        ));
+                    }
+                    let id = nl.add_input(name);
+                    nets.insert(name.to_string(), id);
+                }
+            }
+            "output" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "output before module"))?;
+                for spec in tokens {
+                    let (port, net_name) = spec.split_once('=').ok_or_else(|| {
+                        ParseNetlistError::new(lineno, format!("expected port=net, got {spec}"))
+                    })?;
+                    let id = resolve(nl, &mut nets, net_name);
+                    nl.add_output(port, id);
+                }
+            }
+            "gate" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "gate before module"))?;
+                let kind_str = tokens
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "gate requires a kind"))?;
+                let kind = GateKind::from_mnemonic(kind_str).ok_or_else(|| {
+                    ParseNetlistError::new(lineno, format!("unknown gate kind {kind_str}"))
+                })?;
+                let out_name = tokens
+                    .next()
+                    .ok_or_else(|| ParseNetlistError::new(lineno, "gate requires an output net"))?;
+                let output = resolve(nl, &mut nets, out_name);
+                let inputs: Vec<NetId> = tokens.map(|t| resolve(nl, &mut nets, t)).collect();
+                nl.add_gate_driving(kind, output, &inputs).map_err(|e| {
+                    let msg = match e {
+                        NetlistError::MultipleDrivers(_) => {
+                            format!("net {out_name} already has a driver")
+                        }
+                        NetlistError::DrivenInput(_) => {
+                            format!("primary input {out_name} cannot be driven")
+                        }
+                        other => other.to_string(),
+                    };
+                    ParseNetlistError::new(lineno, msg)
+                })?;
+            }
+            "endmodule" => {
+                if netlist.is_none() {
+                    return Err(ParseNetlistError::new(lineno, "endmodule before module"));
+                }
+                ended = true;
+            }
+            other => {
+                return Err(ParseNetlistError::new(
+                    lineno,
+                    format!("unknown keyword {other}"),
+                ));
+            }
+        }
+    }
+    let netlist = netlist.ok_or_else(|| ParseNetlistError::new(1, "missing module header"))?;
+    if !ended {
+        return Err(ParseNetlistError::new(
+            text.lines().count().max(1),
+            "missing endmodule",
+        ));
+    }
+    netlist
+        .validate()
+        .map_err(|e| ParseNetlistError::new(0, format!("invalid netlist: {e}")))?;
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let axb = nl.xor2(a, b, "axb");
+        let s = nl.xor2(axb, c, "s");
+        let ab = nl.and2(a, b, "ab");
+        let t = nl.and2(axb, c, "t");
+        let co = nl.or2(ab, t, "co");
+        nl.add_output("s", s);
+        nl.add_output("co", co);
+        nl
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let original = full_adder();
+        let text = write_netlist(&original);
+        let parsed = parse_netlist(&text).unwrap();
+        assert_eq!(parsed.name(), "fa");
+        assert_eq!(parsed.inputs().len(), 3);
+        assert_eq!(parsed.outputs().len(), 2);
+        for pattern in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (pattern >> i) & 1 == 1).collect();
+            assert_eq!(original.evaluate(&bits), parsed.evaluate(&bits));
+        }
+    }
+
+    #[test]
+    fn parse_simple_module() {
+        let text = "\
+# a tiny module
+module tiny
+input a b
+output z=zz
+gate and zz a b
+endmodule
+";
+        let nl = parse_netlist(text).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.gates()[0].kind, GateKind::And);
+        assert_eq!(nl.evaluate(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "\
+module fwd
+input a b
+output z=z
+gate or z t a
+gate and t a b
+endmodule
+";
+        let nl = parse_netlist(text).unwrap();
+        assert_eq!(nl.evaluate(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let err = parse_netlist("module m\ngate foo z a b\nendmodule\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown gate kind"));
+
+        let err = parse_netlist("input a\n").unwrap_err();
+        assert!(err.message.contains("before module"));
+
+        let err = parse_netlist("module m\ninput a\n").unwrap_err();
+        assert!(err.message.contains("missing endmodule"));
+
+        let err = parse_netlist("module m\ninput a\ngate not a a\nendmodule\n").unwrap_err();
+        assert!(err.message.contains("cannot be driven"));
+
+        let err =
+            parse_netlist("module m\ninput a b\ngate and z a b\ngate or z a b\nendmodule\n")
+                .unwrap_err();
+        assert!(err.message.contains("already has a driver"));
+    }
+
+    #[test]
+    fn missing_module_header() {
+        let err = parse_netlist("# nothing here\n").unwrap_err();
+        assert!(err.message.contains("missing module"));
+    }
+}

@@ -1,0 +1,232 @@
+use std::fmt;
+
+use crate::netlist::NetId;
+
+/// The kind of a combinational logic gate.
+///
+/// The gate library intentionally matches what a synthesis tool emits for the
+/// arithmetic circuits considered by the paper: inverters/buffers, the basic
+/// two-input gates and constants. Multi-input `And`/`Or`/`Xor` gates are
+/// supported (the generators only emit 2-input gates, but parsers may not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Logical negation of a single input.
+    Not,
+    /// Identity function of a single input.
+    Buf,
+    /// Conjunction of all inputs.
+    And,
+    /// Disjunction of all inputs.
+    Or,
+    /// Exclusive-or of all inputs.
+    Xor,
+    /// Negated conjunction of all inputs.
+    Nand,
+    /// Negated disjunction of all inputs.
+    Nor,
+    /// Negated exclusive-or of all inputs.
+    Xnor,
+    /// Constant false; takes no inputs.
+    Const0,
+    /// Constant true; takes no inputs.
+    Const1,
+}
+
+impl GateKind {
+    /// Returns the number of inputs this gate kind requires, or `None` if it
+    /// accepts any number of inputs (>= 2).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::Not | GateKind::Buf => Some(1),
+            GateKind::Const0 | GateKind::Const1 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the gate over Boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is inconsistent with [`GateKind::arity`].
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "NOT gate takes exactly one input");
+                !inputs[0]
+            }
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF gate takes exactly one input");
+                inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Const0 => {
+                assert!(inputs.is_empty(), "CONST0 takes no inputs");
+                false
+            }
+            GateKind::Const1 => {
+                assert!(inputs.is_empty(), "CONST1 takes no inputs");
+                true
+            }
+        }
+    }
+
+    /// Evaluates the gate over 64 test patterns packed into `u64` words.
+    pub fn eval_packed(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::Not => !inputs[0],
+            GateKind::Buf => inputs[0],
+            GateKind::And => inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Or => inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Nand => !inputs.iter().fold(u64::MAX, |acc, &w| acc & w),
+            GateKind::Nor => !inputs.iter().fold(0, |acc, &w| acc | w),
+            GateKind::Xnor => !inputs.iter().fold(0, |acc, &w| acc ^ w),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+        }
+    }
+
+    /// The short lowercase mnemonic used by the textual netlist format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Xor => "xor",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xnor => "xnor",
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+        }
+    }
+
+    /// Parses a mnemonic written by [`GateKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "not" => GateKind::Not,
+            "buf" => GateKind::Buf,
+            "and" => GateKind::And,
+            "or" => GateKind::Or,
+            "xor" => GateKind::Xor,
+            "nand" => GateKind::Nand,
+            "nor" => GateKind::Nor,
+            "xnor" => GateKind::Xnor,
+            "const0" => GateKind::Const0,
+            "const1" => GateKind::Const1,
+            _ => return None,
+        })
+    }
+
+    /// Returns every supported gate kind.
+    pub fn all() -> [GateKind; 10] {
+        [
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+            GateKind::Const0,
+            GateKind::Const1,
+        ]
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single gate instance: an output net driven by a Boolean function of the
+/// input nets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The function computed by the gate.
+    pub kind: GateKind,
+    /// The net driven by the gate.
+    pub output: NetId,
+    /// The nets read by the gate, in order.
+    pub inputs: Vec<NetId>,
+}
+
+impl Gate {
+    /// Creates a new gate.
+    pub fn new(kind: GateKind, output: NetId, inputs: Vec<NetId>) -> Self {
+        Gate {
+            kind,
+            output,
+            inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[true, false]));
+        assert!(!GateKind::Or.eval(&[false, false]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(GateKind::Nand.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn packed_matches_scalar() {
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let scalar = kind.eval(&[a, b]);
+                    let wa = if a { u64::MAX } else { 0 };
+                    let wb = if b { u64::MAX } else { 0 };
+                    let packed = kind.eval_packed(&[wa, wb]);
+                    assert_eq!(packed == u64::MAX, scalar, "{kind} {a} {b}");
+                    assert!(packed == 0 || packed == u64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for kind in GateKind::all() {
+            assert_eq!(GateKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(GateKind::from_mnemonic("mux"), None);
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(GateKind::Not.arity(), Some(1));
+        assert_eq!(GateKind::Const1.arity(), Some(0));
+        assert_eq!(GateKind::And.arity(), None);
+    }
+}

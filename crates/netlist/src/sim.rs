@@ -1,0 +1,238 @@
+//! Netlist simulation.
+//!
+//! Two entry points are provided: single-pattern evaluation ([`evaluate`]) and
+//! 64-way bit-parallel simulation ([`simulate_packed`]) used by the generator
+//! validation tests and by the random equivalence smoke checks.
+
+use rand::Rng;
+
+use crate::analysis::topological_order;
+use crate::netlist::{NetId, Netlist};
+
+/// Evaluates the netlist on one input assignment.
+///
+/// See [`Netlist::evaluate`] for the user-facing wrapper.
+///
+/// # Panics
+///
+/// Panics if `input_values.len()` differs from the number of primary inputs or
+/// if the netlist is cyclic.
+pub fn evaluate(netlist: &Netlist, input_values: &[bool]) -> Vec<bool> {
+    assert_eq!(
+        input_values.len(),
+        netlist.inputs().len(),
+        "one value per primary input is required"
+    );
+    let order = topological_order(netlist).expect("netlist must be acyclic");
+    let mut values = vec![false; netlist.net_count()];
+    for (&net, &val) in netlist.inputs().iter().zip(input_values) {
+        values[net.index()] = val;
+    }
+    let mut buf: Vec<bool> = Vec::new();
+    for net in order {
+        if let Some(gate) = netlist.driver(net) {
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|i| values[i.index()]));
+            values[net.index()] = gate.kind.eval(&buf);
+        }
+    }
+    netlist
+        .outputs()
+        .iter()
+        .map(|(_, n)| values[n.index()])
+        .collect()
+}
+
+/// Simulates 64 patterns at once: `input_words[i]` holds 64 values for primary
+/// input `i`, one per bit position. Returns one word per primary output.
+///
+/// # Panics
+///
+/// Panics if `input_words.len()` differs from the number of primary inputs or
+/// if the netlist is cyclic.
+pub fn simulate_packed(netlist: &Netlist, input_words: &[u64]) -> Vec<u64> {
+    assert_eq!(input_words.len(), netlist.inputs().len());
+    let order = topological_order(netlist).expect("netlist must be acyclic");
+    let mut values = vec![0u64; netlist.net_count()];
+    for (&net, &w) in netlist.inputs().iter().zip(input_words) {
+        values[net.index()] = w;
+    }
+    let mut buf: Vec<u64> = Vec::new();
+    for net in order {
+        if let Some(gate) = netlist.driver(net) {
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|i| values[i.index()]));
+            values[net.index()] = gate.kind.eval_packed(&buf);
+        }
+    }
+    netlist
+        .outputs()
+        .iter()
+        .map(|(_, n)| values[n.index()])
+        .collect()
+}
+
+/// Checks with `rounds * 64` random patterns whether two netlists with the
+/// same interface compute the same outputs. Returns `Some(pattern)` with a
+/// distinguishing input assignment if a mismatch is found, `None` otherwise.
+///
+/// This is *testing*, not verification — it is used to sanity-check the
+/// circuit generators and the fault injector.
+///
+/// # Panics
+///
+/// Panics if the two netlists have different numbers of inputs or outputs.
+pub fn random_equivalence_check<R: Rng>(
+    a: &Netlist,
+    b: &Netlist,
+    rounds: usize,
+    rng: &mut R,
+) -> Option<Vec<bool>> {
+    assert_eq!(a.inputs().len(), b.inputs().len(), "input count mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output count mismatch"
+    );
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..a.inputs().len()).map(|_| rng.gen()).collect();
+        let out_a = simulate_packed(a, &words);
+        let out_b = simulate_packed(b, &words);
+        let mut diff: u64 = 0;
+        for (wa, wb) in out_a.iter().zip(&out_b) {
+            diff |= wa ^ wb;
+        }
+        if diff != 0 {
+            let bit = diff.trailing_zeros();
+            let pattern = words.iter().map(|w| (w >> bit) & 1 == 1).collect();
+            return Some(pattern);
+        }
+    }
+    None
+}
+
+/// Exhaustively compares a netlist against a reference function over all input
+/// assignments (feasible for small circuits only).
+///
+/// The reference receives the input assignment and must return the expected
+/// output assignment. Returns the first failing input assignment, if any.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 24 primary inputs.
+pub fn exhaustive_check<F>(netlist: &Netlist, mut reference: F) -> Option<Vec<bool>>
+where
+    F: FnMut(&[bool]) -> Vec<bool>,
+{
+    let n = netlist.inputs().len();
+    assert!(n <= 24, "exhaustive check limited to 24 inputs");
+    for pattern in 0u32..(1u32 << n) {
+        let bits: Vec<bool> = (0..n).map(|i| (pattern >> i) & 1 == 1).collect();
+        let got = evaluate(netlist, &bits);
+        let want = reference(&bits);
+        if got != want {
+            return Some(bits);
+        }
+    }
+    None
+}
+
+/// Returns the value of a specific internal net for one input assignment.
+/// Useful in tests that inspect intermediate signals.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic or input counts mismatch.
+pub fn probe_net(netlist: &Netlist, input_values: &[bool], net: NetId) -> bool {
+    assert_eq!(input_values.len(), netlist.inputs().len());
+    let order = topological_order(netlist).expect("netlist must be acyclic");
+    let mut values = vec![false; netlist.net_count()];
+    for (&n, &val) in netlist.inputs().iter().zip(input_values) {
+        values[n.index()] = val;
+    }
+    let mut buf: Vec<bool> = Vec::new();
+    for n in order {
+        if let Some(gate) = netlist.driver(n) {
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|i| values[i.index()]));
+            values[n.index()] = gate.kind.eval(&buf);
+        }
+    }
+    values[net.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mux() -> Netlist {
+        // z = s ? b : a
+        let mut nl = Netlist::new("mux");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let s = nl.add_input("s");
+        let ns = nl.not1(s, "ns");
+        let t0 = nl.and2(a, ns, "t0");
+        let t1 = nl.and2(b, s, "t1");
+        let z = nl.or2(t0, t1, "z");
+        nl.add_output("z", z);
+        nl
+    }
+
+    #[test]
+    fn evaluate_mux() {
+        let nl = mux();
+        assert_eq!(nl.evaluate(&[true, false, false]), vec![true]);
+        assert_eq!(nl.evaluate(&[true, false, true]), vec![false]);
+        assert_eq!(nl.evaluate(&[false, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn packed_simulation_matches_scalar() {
+        let nl = mux();
+        let mut rng = StdRng::seed_from_u64(7);
+        let words: Vec<u64> = (0..3).map(|_| rng.gen()).collect();
+        let packed = simulate_packed(&nl, &words);
+        for bit in 0..64 {
+            let pattern: Vec<bool> = words.iter().map(|w| (w >> bit) & 1 == 1).collect();
+            let scalar = evaluate(&nl, &pattern);
+            assert_eq!(scalar[0], (packed[0] >> bit) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn random_equivalence_detects_difference() {
+        let good = mux();
+        let mut bad = mux();
+        // Replace the OR with XOR; differs when both operands are 1 — but for a
+        // mux the products are disjoint, so instead break a product term.
+        bad.gates_mut()[1].kind = GateKind::Or; // t0 = a | !s, differs from AND
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(random_equivalence_check(&good, &good, 4, &mut rng).is_none());
+        let cex = random_equivalence_check(&good, &bad, 16, &mut rng);
+        assert!(cex.is_some(), "mutated mux must be distinguishable");
+        let cex = cex.unwrap();
+        assert_ne!(evaluate(&good, &cex), evaluate(&bad, &cex));
+    }
+
+    #[test]
+    fn exhaustive_check_mux() {
+        let nl = mux();
+        let fail = exhaustive_check(&nl, |bits| {
+            let (a, b, s) = (bits[0], bits[1], bits[2]);
+            vec![if s { b } else { a }]
+        });
+        assert!(fail.is_none());
+    }
+
+    #[test]
+    fn probe_internal_net() {
+        let nl = mux();
+        let ns = nl.find_net("ns").unwrap();
+        assert!(probe_net(&nl, &[false, false, false], ns));
+        assert!(!probe_net(&nl, &[false, false, true], ns));
+    }
+}

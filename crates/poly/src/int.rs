@@ -1,0 +1,580 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A signed arbitrary-precision integer.
+///
+/// The representation is sign-magnitude with base-2^64 limbs stored least
+/// significant first. Zero is represented by an empty limb vector and a
+/// non-negative sign, so every value has exactly one representation.
+///
+/// Only the operations required by the verifier are provided; this is not a
+/// general purpose bignum library. All operations are exact.
+///
+/// # Example
+///
+/// ```
+/// use gbmv_poly::Int;
+///
+/// let a = Int::pow2(130);            // 2^130 does not fit in u128
+/// let b = &a * &Int::from(-3);
+/// assert_eq!(&a + &b, -(&a + &a));   // a - 3a = -2a
+/// assert!(b.is_negative());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Int {
+    negative: bool,
+    /// Base-2^64 magnitude, least significant limb first, no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+impl Int {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Int::default()
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Int::from(1)
+    }
+
+    /// `2^k`.
+    pub fn pow2(k: u32) -> Self {
+        let limb = (k / 64) as usize;
+        let bit = k % 64;
+        let mut limbs = vec![0u64; limb + 1];
+        limbs[limb] = 1u64 << bit;
+        Int {
+            negative: false,
+            limbs,
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        !self.negative && self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is divisible by `2^k` (zero counts as
+    /// divisible). This implements the `mod 2^(2n)` reduction of the
+    /// multiplier specification: terms whose coefficient is a multiple of
+    /// `2^(2n)` are dropped.
+    pub fn is_multiple_of_pow2(&self, k: u32) -> bool {
+        if self.is_zero() {
+            return true;
+        }
+        let whole = (k / 64) as usize;
+        let rest = k % 64;
+        if self.limbs.len() < whole + usize::from(rest > 0) {
+            // Fewer significant bits than k and non-zero -> not divisible,
+            // unless all low limbs are zero and rest == 0 handled below.
+            if self.limbs.len() <= whole {
+                // |x| < 2^(64*whole) <= 2^k, and x != 0.
+                return false;
+            }
+        }
+        for i in 0..whole.min(self.limbs.len()) {
+            if self.limbs[i] != 0 {
+                return false;
+            }
+        }
+        if rest > 0 {
+            let limb = self.limbs.get(whole).copied().unwrap_or(0);
+            if limb & ((1u64 << rest) - 1) != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reduces the value modulo `2^k` into the canonical range `[0, 2^k)`.
+    pub fn mod_pow2(&self, k: u32) -> Int {
+        if self.is_zero() {
+            return Int::zero();
+        }
+        // magnitude mod 2^k
+        let whole = (k / 64) as usize;
+        let rest = k % 64;
+        let mut limbs: Vec<u64> = self.limbs.iter().copied().take(whole + 1).collect();
+        while limbs.len() < whole + 1 {
+            limbs.push(0);
+        }
+        if rest == 0 {
+            limbs.truncate(whole);
+        } else {
+            limbs.truncate(whole + 1);
+            limbs[whole] &= (1u64 << rest) - 1;
+        }
+        let mag = Int {
+            negative: false,
+            limbs,
+        }
+        .normalized();
+        if !self.negative || mag.is_zero() {
+            mag
+        } else {
+            // (-m) mod 2^k = 2^k - (m mod 2^k)
+            &Int::pow2(k) - &mag
+        }
+    }
+
+    /// The number of significant bits of the magnitude (0 for zero).
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 2 {
+            return None;
+        }
+        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        let mag = (hi << 64) | lo;
+        if self.negative {
+            if mag > (1u128 << 127) {
+                None
+            } else if mag == 1u128 << 127 {
+                Some(i128::MIN)
+            } else {
+                Some(-(mag as i128))
+            }
+        } else if mag > i128::MAX as u128 {
+            None
+        } else {
+            Some(mag as i128)
+        }
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Int {
+        Int {
+            negative: false,
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        if self.limbs.is_empty() {
+            self.negative = false;
+        }
+        self
+    }
+
+    fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len().max(b.len()) {
+            let x = a.get(i).copied().unwrap_or(0) as u128;
+            let y = b.get(i).copied().unwrap_or(0) as u128;
+            let sum = x + y + carry as u128;
+            out.push(sum as u64);
+            carry = (sum >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    /// Computes `a - b` assuming `|a| >= |b|`.
+    fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for i in 0..a.len() {
+            let x = a[i] as u128;
+            let y = b.get(i).copied().unwrap_or(0) as u128 + borrow as u128;
+            if x >= y {
+                out.push((x - y) as u64);
+                borrow = 0;
+            } else {
+                out.push(((1u128 << 64) + x - y) as u64);
+                borrow = 1;
+            }
+        }
+        out
+    }
+
+    fn mul_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + (x as u128) * (y as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn add_signed(&self, other: &Int) -> Int {
+        if self.negative == other.negative {
+            Int {
+                negative: self.negative,
+                limbs: Int::add_mag(&self.limbs, &other.limbs),
+            }
+            .normalized()
+        } else {
+            match Int::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int {
+                    negative: self.negative,
+                    limbs: Int::sub_mag(&self.limbs, &other.limbs),
+                }
+                .normalized(),
+                Ordering::Less => Int {
+                    negative: other.negative,
+                    limbs: Int::sub_mag(&other.limbs, &self.limbs),
+                }
+                .normalized(),
+            }
+        }
+    }
+
+    fn mul_signed(&self, other: &Int) -> Int {
+        Int {
+            negative: self.negative != other.negative,
+            limbs: Int::mul_mag(&self.limbs, &other.limbs),
+        }
+        .normalized()
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        if v == 0 {
+            Int::zero()
+        } else {
+            Int {
+                negative: v < 0,
+                limbs: vec![v.unsigned_abs()],
+            }
+        }
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Self {
+        Int::from(v as i64)
+    }
+}
+
+impl From<i128> for Int {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return Int::zero();
+        }
+        let mag = v.unsigned_abs();
+        let lo = mag as u64;
+        let hi = (mag >> 64) as u64;
+        let limbs = if hi == 0 { vec![lo] } else { vec![lo, hi] };
+        Int {
+            negative: v < 0,
+            limbs,
+        }
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Int::zero()
+        } else {
+            Int {
+                negative: false,
+                limbs: vec![v],
+            }
+        }
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Int::cmp_mag(&self.limbs, &other.limbs),
+            (true, true) => Int::cmp_mag(&other.limbs, &self.limbs),
+        }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        if self.is_zero() {
+            Int::zero()
+        } else {
+            Int {
+                negative: !self.negative,
+                limbs: self.limbs.clone(),
+            }
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -&self
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, rhs: &Int) -> Int {
+        self.add_signed(rhs)
+    }
+}
+
+impl Add for Int {
+    type Output = Int;
+    fn add(self, rhs: Int) -> Int {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, rhs: &Int) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, rhs: &Int) -> Int {
+        self.add_signed(&-rhs)
+    }
+}
+
+impl Sub for Int {
+    type Output = Int;
+    fn sub(self, rhs: Int) -> Int {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, rhs: &Int) {
+        *self = &*self - rhs;
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, rhs: &Int) -> Int {
+        self.mul_signed(rhs)
+    }
+}
+
+impl Mul for Int {
+    type Output = Int;
+    fn mul(self, rhs: Int) -> Int {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, rhs: &Int) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^19 (largest power of ten below 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut limbs = self.limbs.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !limbs.is_empty() {
+            let mut rem: u128 = 0;
+            for limb in limbs.iter_mut().rev() {
+                let cur = (rem << 64) | *limb as u128;
+                *limb = (cur / CHUNK as u128) as u64;
+                rem = cur % CHUNK as u128;
+            }
+            while limbs.last() == Some(&0) {
+                limbs.pop();
+            }
+            chunks.push(rem as u64);
+        }
+        let mut s = String::new();
+        if self.negative {
+            s.push('-');
+        }
+        s.push_str(&chunks.last().unwrap().to_string());
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_constructors() {
+        assert!(Int::zero().is_zero());
+        assert!(Int::one().is_one());
+        assert_eq!(Int::from(-5i64).to_i128(), Some(-5));
+        assert_eq!(Int::from(0i64), Int::zero());
+        assert_eq!(Int::pow2(0), Int::one());
+        assert_eq!(Int::pow2(64).to_i128(), Some(1i128 << 64));
+        assert_eq!(Int::pow2(126).to_i128(), Some(1i128 << 126));
+        assert_eq!(Int::pow2(127).to_i128(), None, "2^127 overflows i128");
+    }
+
+    #[test]
+    fn display_small_and_large() {
+        assert_eq!(Int::zero().to_string(), "0");
+        assert_eq!(Int::from(-42i64).to_string(), "-42");
+        assert_eq!(Int::pow2(64).to_string(), "18446744073709551616");
+        assert_eq!(
+            Int::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn pow2_is_multiple_checks() {
+        assert!(Int::pow2(130).is_multiple_of_pow2(130));
+        assert!(Int::pow2(130).is_multiple_of_pow2(64));
+        assert!(!Int::pow2(63).is_multiple_of_pow2(64));
+        assert!(Int::zero().is_multiple_of_pow2(256));
+        let three_times = &Int::pow2(70) * &Int::from(3);
+        assert!(three_times.is_multiple_of_pow2(70));
+        assert!(!three_times.is_multiple_of_pow2(71));
+    }
+
+    #[test]
+    fn mod_pow2_matches_definition() {
+        assert_eq!(Int::from(5).mod_pow2(2), Int::from(1));
+        assert_eq!(Int::from(-5).mod_pow2(3), Int::from(3));
+        assert_eq!(Int::from(-8).mod_pow2(3), Int::zero());
+        assert_eq!(Int::pow2(130).mod_pow2(130), Int::zero());
+        let x = &Int::pow2(130) + &Int::from(7);
+        assert_eq!(x.mod_pow2(130), Int::from(7));
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(Int::zero().bits(), 0);
+        assert_eq!(Int::one().bits(), 1);
+        assert_eq!(Int::from(255).bits(), 8);
+        assert_eq!(Int::pow2(200).bits(), 201);
+    }
+
+    #[test]
+    fn large_arithmetic_identities() {
+        let a = Int::pow2(200);
+        let b = Int::pow2(131);
+        assert_eq!(&(&a + &b) - &b, a);
+        assert_eq!(&a * &Int::zero(), Int::zero());
+        assert_eq!(&(&a * &b), &Int::pow2(331));
+        assert_eq!((&a - &a), Int::zero());
+        assert!((&b - &a).is_negative());
+    }
+
+    fn to_int(v: i128) -> Int {
+        Int::from(v)
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!((&to_int(a) + &to_int(b)).to_i128(), Some(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -(1i128<<100)..(1i128<<100), b in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!((&to_int(a) - &to_int(b)).to_i128(), Some(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
+            prop_assert_eq!((&to_int(a) * &to_int(b)).to_i128(), Some(a * b));
+        }
+
+        #[test]
+        fn ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(to_int(a as i128).cmp(&to_int(b as i128)), a.cmp(&b));
+        }
+
+        #[test]
+        fn neg_round_trip(a in -(1i128<<100)..(1i128<<100)) {
+            prop_assert_eq!((-&to_int(a)).to_i128(), Some(-a));
+            prop_assert_eq!(-(-&to_int(a)), to_int(a));
+        }
+
+        #[test]
+        fn mod_pow2_matches_i128(a in -(1i128<<90)..(1i128<<90), k in 0u32..90) {
+            let m = 1i128 << k;
+            let expected = a.rem_euclid(m);
+            prop_assert_eq!(to_int(a).mod_pow2(k).to_i128(), Some(expected));
+        }
+
+        #[test]
+        fn divisibility_matches_i128(a in -(1i128<<90)..(1i128<<90), k in 0u32..90) {
+            let m = 1i128 << k;
+            prop_assert_eq!(to_int(a).is_multiple_of_pow2(k), a % m == 0);
+        }
+
+        #[test]
+        fn display_matches_i128(a in any::<i128>()) {
+            prop_assert_eq!(to_int(a).to_string(), a.to_string());
+        }
+    }
+}

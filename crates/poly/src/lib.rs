@@ -1,0 +1,49 @@
+//! Multivariate polynomial arithmetic for algebraic circuit verification.
+//!
+//! The membership-testing algorithm of the paper manipulates polynomials over
+//! the Boolean domain: every variable `x` satisfies `x^2 = x`, so all
+//! monomials are *multilinear* (a set of distinct variables). Coefficients are
+//! arbitrary-precision signed integers because the specification polynomial of
+//! an `n x n` multiplier contains coefficients up to `2^(2n-2)` and
+//! intermediate coefficients can grow beyond that during reduction.
+//!
+//! The crate provides:
+//!
+//! * [`Int`] — a small hand-rolled signed arbitrary-precision integer
+//!   (sign + base-2^64 magnitude). Only the operations needed by the verifier
+//!   are implemented: add, sub, mul, powers of two, shifting, divisibility by
+//!   powers of two and comparison.
+//! * [`Var`], [`Monomial`] — variables and multilinear power products.
+//! * [`Polynomial`] — a sparse sum of terms with [`Int`] coefficients,
+//!   with the substitution operation that implements the S-polynomial step
+//!   (division by a polynomial of the form `-v + tail`).
+//! * [`spec`] — specification polynomials for adders and (modular) multipliers.
+//!
+//! # Example
+//!
+//! ```
+//! use gbmv_poly::{Int, Monomial, Polynomial, Var};
+//!
+//! let a = Var(0);
+//! let b = Var(1);
+//! // p = a + b - 2ab  (the XOR gate polynomial tail)
+//! let p = Polynomial::from_terms(vec![
+//!     (Monomial::from_vars(vec![a]), Int::from(1)),
+//!     (Monomial::from_vars(vec![b]), Int::from(1)),
+//!     (Monomial::from_vars(vec![a, b]), Int::from(-2)),
+//! ]);
+//! // Evaluate at a=1, b=1: 1 + 1 - 2 = 0 (XOR of equal bits).
+//! assert!(p.eval_bool(&|_| true).is_zero());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod monomial;
+mod polynomial;
+pub mod spec;
+
+pub use int::Int;
+pub use monomial::{Monomial, Var};
+pub use polynomial::Polynomial;

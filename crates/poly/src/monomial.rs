@@ -1,0 +1,260 @@
+use std::fmt;
+
+/// A polynomial variable, identified by a dense index.
+///
+/// The verifier assigns one variable per circuit net; the index has no
+/// intrinsic meaning beyond identity. Ordering of variables (for leading
+/// terms and substitution) is defined externally by the circuit's reverse
+/// topological order, not by the numeric value of the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the variable index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A multilinear monomial: a product of distinct variables.
+///
+/// Because every circuit variable is Boolean (`x^2 = x`), exponents never
+/// exceed one and a monomial is simply a set of variables. The empty monomial
+/// is the constant `1`. Variables are stored sorted by index so that equal
+/// monomials have equal representations (required for hashing).
+///
+/// # Example
+///
+/// ```
+/// use gbmv_poly::{Monomial, Var};
+///
+/// let ab = Monomial::from_vars(vec![Var(1), Var(0), Var(1)]);
+/// assert_eq!(ab.degree(), 2);                       // x^2 reduced to x
+/// let abc = ab.mul(&Monomial::from_vars(vec![Var(2)]));
+/// assert!(abc.contains(Var(0)) && abc.contains(Var(2)));
+/// assert_eq!(ab.without(Var(1)).degree(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial {
+    vars: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Monomial::default()
+    }
+
+    /// A monomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Monomial { vars: vec![v.0] }
+    }
+
+    /// Builds a monomial from a list of variables. Duplicates are collapsed
+    /// (Boolean domain: `x^2 = x`).
+    pub fn from_vars(vars: impl IntoIterator<Item = Var>) -> Self {
+        let mut vs: Vec<u32> = vars.into_iter().map(|v| v.0).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        Monomial { vars: vs }
+    }
+
+    /// Returns `true` if this is the constant monomial `1`.
+    pub fn is_one(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The number of distinct variables (total degree in the Boolean domain).
+    pub fn degree(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Iterates over the variables in ascending index order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars.iter().map(|&v| Var(v))
+    }
+
+    /// Returns `true` if the monomial contains `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v.0).is_ok()
+    }
+
+    /// Multiplies two monomials (set union, Boolean reduction applied).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        if self.is_one() {
+            return other.clone();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Less => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    vars.push(other.vars[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    vars.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        vars.extend_from_slice(&self.vars[i..]);
+        vars.extend_from_slice(&other.vars[j..]);
+        Monomial { vars }
+    }
+
+    /// Returns the monomial with `v` removed (identity if `v` is absent).
+    pub fn without(&self, v: Var) -> Monomial {
+        match self.vars.binary_search(&v.0) {
+            Ok(pos) => {
+                let mut vars = self.vars.clone();
+                vars.remove(pos);
+                Monomial { vars }
+            }
+            Err(_) => self.clone(),
+        }
+    }
+
+    /// Returns `true` if `self` divides `other` (subset of variables).
+    pub fn divides(&self, other: &Monomial) -> bool {
+        if self.vars.len() > other.vars.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &v in &self.vars {
+            loop {
+                if j >= other.vars.len() {
+                    return false;
+                }
+                match other.vars[j].cmp(&v) {
+                    std::cmp::Ordering::Less => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        j += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Evaluates the monomial over a Boolean assignment.
+    pub fn eval_bool(&self, assignment: &impl Fn(Var) -> bool) -> bool {
+        self.vars.iter().all(|&v| assignment(Var(v)))
+    }
+
+    /// Renders the monomial with a custom variable naming function.
+    pub fn display_with<F: Fn(Var) -> String>(&self, namer: F) -> String {
+        if self.is_one() {
+            "1".to_string()
+        } else {
+            self.vars
+                .iter()
+                .map(|&v| namer(Var(v)))
+                .collect::<Vec<_>>()
+                .join("*")
+        }
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(|v| v.to_string()))
+    }
+}
+
+impl FromIterator<Var> for Monomial {
+    fn from_iter<T: IntoIterator<Item = Var>>(iter: T) -> Self {
+        Monomial::from_vars(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_dedup() {
+        let m = Monomial::from_vars(vec![Var(3), Var(1), Var(3)]);
+        assert_eq!(m.degree(), 2);
+        assert!(m.contains(Var(1)));
+        assert!(m.contains(Var(3)));
+        assert!(!m.contains(Var(2)));
+        assert!(Monomial::one().is_one());
+        assert_eq!(Monomial::var(Var(7)).degree(), 1);
+    }
+
+    #[test]
+    fn mul_is_union() {
+        let a = Monomial::from_vars(vec![Var(0), Var(2)]);
+        let b = Monomial::from_vars(vec![Var(1), Var(2)]);
+        let ab = a.mul(&b);
+        assert_eq!(ab, Monomial::from_vars(vec![Var(0), Var(1), Var(2)]));
+        assert_eq!(a.mul(&Monomial::one()), a);
+        assert_eq!(Monomial::one().mul(&b), b);
+    }
+
+    #[test]
+    fn without_and_divides() {
+        let abc = Monomial::from_vars(vec![Var(0), Var(1), Var(2)]);
+        let ac = abc.without(Var(1));
+        assert_eq!(ac, Monomial::from_vars(vec![Var(0), Var(2)]));
+        assert!(ac.divides(&abc));
+        assert!(!abc.divides(&ac));
+        assert!(Monomial::one().divides(&abc));
+        assert_eq!(abc.without(Var(9)), abc);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Monomial::one().to_string(), "1");
+        let m = Monomial::from_vars(vec![Var(2), Var(0)]);
+        assert_eq!(m.to_string(), "x0*x2");
+        assert_eq!(m.display_with(|v| format!("s{}", v.0)), "s0*s2");
+    }
+
+    #[test]
+    fn eval_bool() {
+        let m = Monomial::from_vars(vec![Var(0), Var(1)]);
+        assert!(m.eval_bool(&|_| true));
+        assert!(!m.eval_bool(&|v| v == Var(0)));
+        assert!(Monomial::one().eval_bool(&|_| false));
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative_idempotent(a in proptest::collection::vec(0u32..16, 0..6),
+                                      b in proptest::collection::vec(0u32..16, 0..6)) {
+            let ma = Monomial::from_vars(a.iter().map(|&v| Var(v)));
+            let mb = Monomial::from_vars(b.iter().map(|&v| Var(v)));
+            prop_assert_eq!(ma.mul(&mb), mb.mul(&ma));
+            prop_assert_eq!(ma.mul(&ma), ma.clone());
+            prop_assert!(ma.divides(&ma.mul(&mb)));
+        }
+
+        #[test]
+        fn divides_iff_subset(a in proptest::collection::vec(0u32..10, 0..5),
+                              b in proptest::collection::vec(0u32..10, 0..5)) {
+            let ma = Monomial::from_vars(a.iter().map(|&v| Var(v)));
+            let mb = Monomial::from_vars(b.iter().map(|&v| Var(v)));
+            let subset = ma.vars().all(|v| mb.contains(v));
+            prop_assert_eq!(ma.divides(&mb), subset);
+        }
+    }
+}

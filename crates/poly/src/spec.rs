@@ -1,0 +1,191 @@
+//! Specification polynomials for arithmetic circuits.
+//!
+//! The verifier checks a circuit against a *word-level* specification written
+//! as a polynomial over the input and output bit variables. Following the
+//! paper, an `n x n` unsigned multiplier with outputs `s_0..s_{2n-1}` and
+//! inputs `a_0..a_{n-1}`, `b_0..b_{n-1}` is specified by
+//!
+//! ```text
+//! p_spec = sum_i -2^i s_i  +  (sum_i 2^i a_i) * (sum_i 2^i b_i)    (mod 2^(2n))
+//! ```
+//!
+//! The `mod 2^(2n)` is applied by dropping remainder terms whose coefficient
+//! is a multiple of `2^(2n)`; it is required for Booth partial products and
+//! redundant-binary addition trees whose bit-level implementation is only
+//! congruent (not equal) to the product before the modulo.
+
+use crate::int::Int;
+use crate::monomial::{Monomial, Var};
+use crate::polynomial::Polynomial;
+
+/// Builds the weighted sum `sign * sum_i 2^i bits[i]` as a polynomial.
+pub fn weighted_sum(bits: &[Var], negative: bool) -> Polynomial {
+    let mut p = Polynomial::zero();
+    for (i, &v) in bits.iter().enumerate() {
+        let mut c = Int::pow2(i as u32);
+        if negative {
+            c = -c;
+        }
+        p.add_term(Monomial::var(v), c);
+    }
+    p
+}
+
+/// Specification polynomial of an unsigned integer multiplier:
+/// `sum -2^i s_i + (sum 2^i a_i)(sum 2^i b_i)`.
+///
+/// The caller decides whether to apply the modulo reduction (see
+/// [`Polynomial::drop_multiples_of_pow2`] with `k = s.len()`), matching the
+/// paper's `mod 2^(2n)` specification.
+pub fn multiplier_spec(a: &[Var], b: &[Var], s: &[Var]) -> Polynomial {
+    let outputs = weighted_sum(s, true);
+    let pa = weighted_sum(a, false);
+    let pb = weighted_sum(b, false);
+    &outputs + &(&pa * &pb)
+}
+
+/// Specification polynomial of an unsigned adder:
+/// `sum -2^i s_i + sum 2^i a_i + sum 2^i b_i (+ cin)`.
+///
+/// `s` may contain one more bit than `a`/`b` to cover the carry out.
+pub fn adder_spec(a: &[Var], b: &[Var], s: &[Var], cin: Option<Var>) -> Polynomial {
+    let mut p = weighted_sum(s, true);
+    p = &p + &weighted_sum(a, false);
+    p = &p + &weighted_sum(b, false);
+    if let Some(c) = cin {
+        p.add_term(Monomial::var(c), Int::one());
+    }
+    p
+}
+
+/// Specification polynomial of the full adder of Fig. 1 in the paper:
+/// `-2c - s + a + b + cin`.
+pub fn full_adder_spec(a: Var, b: Var, cin: Var, s: Var, c: Var) -> Polynomial {
+    Polynomial::from_terms(vec![
+        (Monomial::var(c), Int::from(-2)),
+        (Monomial::var(s), Int::from(-1)),
+        (Monomial::var(a), Int::from(1)),
+        (Monomial::var(b), Int::from(1)),
+        (Monomial::var(cin), Int::from(1)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var_range(start: u32, len: usize) -> Vec<Var> {
+        (0..len as u32).map(|i| Var(start + i)).collect()
+    }
+
+    /// Evaluates a spec polynomial over concrete integer values of the words.
+    fn eval_words(p: &Polynomial, a_bits: &[Var], a: u64, b_bits: &[Var], b: u64, s_bits: &[Var], s: u64) -> Int {
+        p.eval_bool(&|v: Var| {
+            if let Some(i) = a_bits.iter().position(|&x| x == v) {
+                (a >> i) & 1 == 1
+            } else if let Some(i) = b_bits.iter().position(|&x| x == v) {
+                (b >> i) & 1 == 1
+            } else if let Some(i) = s_bits.iter().position(|&x| x == v) {
+                (s >> i) & 1 == 1
+            } else {
+                false
+            }
+        })
+    }
+
+    #[test]
+    fn weighted_sum_powers_of_two() {
+        let bits = var_range(0, 4);
+        let p = weighted_sum(&bits, false);
+        assert_eq!(p.num_terms(), 4);
+        assert_eq!(p.coeff(&Monomial::var(Var(3))), Int::from(8));
+        let n = weighted_sum(&bits, true);
+        assert_eq!(n.coeff(&Monomial::var(Var(2))), Int::from(-4));
+    }
+
+    #[test]
+    fn multiplier_spec_vanishes_on_correct_products() {
+        let n = 4;
+        let a_bits = var_range(0, n);
+        let b_bits = var_range(10, n);
+        let s_bits = var_range(20, 2 * n);
+        let spec = multiplier_spec(&a_bits, &b_bits, &s_bits);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let s = a * b;
+                let val = eval_words(&spec, &a_bits, a, &b_bits, b, &s_bits, s);
+                assert!(val.is_zero(), "spec must vanish for {a}*{b}={s}");
+                let wrong = eval_words(&spec, &a_bits, a, &b_bits, b, &s_bits, (s + 1) % 256);
+                assert!(!wrong.is_zero(), "spec must reject wrong product");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_spec_vanishes_on_correct_sums() {
+        let n = 4;
+        let a_bits = var_range(0, n);
+        let b_bits = var_range(10, n);
+        let s_bits = var_range(20, n + 1);
+        let spec = adder_spec(&a_bits, &b_bits, &s_bits, None);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let val = eval_words(&spec, &a_bits, a, &b_bits, b, &s_bits, a + b);
+                assert!(val.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn adder_spec_with_carry_in() {
+        let a_bits = var_range(0, 2);
+        let b_bits = var_range(4, 2);
+        let s_bits = var_range(8, 3);
+        let cin = Var(15);
+        let spec = adder_spec(&a_bits, &b_bits, &s_bits, Some(cin));
+        // 3 + 2 + 1 = 6
+        let val = spec.eval_bool(&|v: Var| match v {
+            Var(0) | Var(1) => true,          // a = 3
+            Var(5) => true,                   // b = 2
+            Var(9) | Var(10) => true,         // s = 6
+            Var(15) => true,                  // cin = 1
+            _ => false,
+        });
+        assert!(val.is_zero());
+    }
+
+    #[test]
+    fn full_adder_spec_matches_truth_table() {
+        let (a, b, cin, s, c) = (Var(0), Var(1), Var(2), Var(3), Var(4));
+        let spec = full_adder_spec(a, b, cin, s, c);
+        for bits in 0..8u32 {
+            let av = bits & 1 == 1;
+            let bv = bits & 2 != 0;
+            let cv = bits & 4 != 0;
+            let sum = av as u32 + bv as u32 + cv as u32;
+            let val = spec.eval_bool(&|v: Var| match v {
+                Var(0) => av,
+                Var(1) => bv,
+                Var(2) => cv,
+                Var(3) => sum & 1 == 1,
+                Var(4) => sum >= 2,
+                _ => false,
+            });
+            assert!(val.is_zero());
+        }
+    }
+
+    #[test]
+    fn modulo_reduction_drops_high_coefficients() {
+        // With 2-bit inputs the product needs 4 output bits; a term with
+        // coefficient 16 = 2^4 is congruent to zero mod 2^4.
+        let a_bits = var_range(0, 2);
+        let b_bits = var_range(4, 2);
+        let s_bits = var_range(8, 4);
+        let mut spec = multiplier_spec(&a_bits, &b_bits, &s_bits);
+        spec.add_term(Monomial::var(Var(0)), Int::pow2(4));
+        let reduced = spec.drop_multiples_of_pow2(4);
+        // The added term disappears, the original spec terms survive.
+        assert_eq!(reduced.num_terms(), multiplier_spec(&a_bits, &b_bits, &s_bits).num_terms());
+    }
+}

@@ -1,0 +1,165 @@
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: VarId) -> Self {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: VarId) -> Self {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = positive).
+    pub fn new(v: VarId, positive: bool) -> Self {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> VarId {
+        VarId(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The negation of this literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense code of the literal (2*var + sign), used for watch lists.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "{}", self.var().0 + 1)
+        } else {
+            write!(f, "-{}", self.var().0 + 1)
+        }
+    }
+}
+
+/// A clause database: a set of variables and a list of clauses (disjunctions
+/// of literals).
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> VarId {
+        let v = VarId(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals). An empty clause makes the
+    /// formula trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        self.clauses.push(lits);
+    }
+
+    /// The clauses added so far.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Serialises the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                out.push_str(&lit.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = VarId(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(!n.is_positive());
+        assert_eq!(p.negate(), n);
+        assert_eq!(n.negate(), p);
+        assert_eq!(Lit::new(v, true), p);
+        assert_eq!(Lit::new(v, false), n);
+        assert_ne!(p.code(), n.code());
+    }
+
+    #[test]
+    fn cnf_building_and_dimacs() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(vec![Lit::pos(a), Lit::neg(b)]);
+        cnf.add_clause(vec![Lit::neg(a)]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        let dimacs = cnf.to_dimacs();
+        assert!(dimacs.starts_with("p cnf 2 2"));
+        assert!(dimacs.contains("1 -2 0"));
+        assert!(dimacs.contains("-1 0"));
+    }
+
+    #[test]
+    fn display_uses_dimacs_convention() {
+        assert_eq!(Lit::pos(VarId(0)).to_string(), "1");
+        assert_eq!(Lit::neg(VarId(2)).to_string(), "-3");
+    }
+}

@@ -1,0 +1,47 @@
+//! A CDCL SAT solver with Tseitin encoding and miter-based combinational
+//! equivalence checking.
+//!
+//! The paper compares its algebraic verifier against SAT-based equivalence
+//! checking (a commercial checker and ABC's `cec` command), reporting that
+//! miter-based CEC times out on medium and large multipliers. Neither tool is
+//! available offline, so this crate provides the same *kind* of baseline:
+//!
+//! * [`Cnf`], [`Lit`] — clause database in DIMACS-like conventions.
+//! * [`Solver`] — a conflict-driven clause-learning solver with two-watched
+//!   literals, first-UIP learning, activity-based branching and geometric
+//!   restarts, plus a conflict budget so hopeless instances stop early.
+//! * [`tseitin`] — CNF encoding of a [`gbmv_netlist::Netlist`].
+//! * [`miter`] — miter construction and [`check_equivalence`] /
+//!   [`check_against_product`] drivers.
+//!
+//! # Example
+//!
+//! ```
+//! use gbmv_sat::{Cnf, Lit, Solver, SolveResult};
+//!
+//! let mut cnf = Cnf::new();
+//! let a = cnf.new_var();
+//! let b = cnf.new_var();
+//! cnf.add_clause(vec![Lit::pos(a), Lit::pos(b)]);
+//! cnf.add_clause(vec![Lit::neg(a)]);
+//! let mut solver = Solver::new(cnf);
+//! match solver.solve(None) {
+//!     SolveResult::Sat(model) => {
+//!         assert!(!model[a.index()]);
+//!         assert!(model[b.index()]);
+//!     }
+//!     _ => unreachable!("the formula is satisfiable"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+pub mod miter;
+mod solver;
+pub mod tseitin;
+
+pub use cnf::{Cnf, Lit, VarId};
+pub use miter::{check_against_product, check_equivalence, EquivalenceResult};
+pub use solver::{SolveResult, Solver};

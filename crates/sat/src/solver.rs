@@ -1,0 +1,549 @@
+use crate::cnf::{Cnf, Lit, VarId};
+
+/// The result of a solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; the vector holds one Boolean per variable.
+    Sat(Vec<bool>),
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Returns the model if the result is SAT.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct VarState {
+    /// 0 = false, 1 = true, 2 = unassigned.
+    value: u8,
+    level: u32,
+    /// Index of the reason clause, or usize::MAX for decisions/unset.
+    reason: usize,
+    activity: f64,
+    /// Phase saving.
+    phase: bool,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// The implementation follows the classic MiniSat recipe: two-watched
+/// literals, first-UIP conflict analysis, activity-based decision heuristic
+/// with exponential decay, phase saving and geometric restarts. Learned
+/// clauses are kept forever (no clause deletion), which is adequate for the
+/// circuit-equivalence workloads in this workspace.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Vec<Lit>>,
+    /// watches[lit.code()] = clause indices watching that literal.
+    watches: Vec<Vec<usize>>,
+    vars: Vec<VarState>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    propagate_head: usize,
+    var_inc: f64,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+    ok: bool,
+}
+
+impl Solver {
+    /// Builds a solver from a clause database.
+    pub fn new(cnf: Cnf) -> Self {
+        let num_vars = cnf.num_vars();
+        let mut solver = Solver {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            vars: vec![
+                VarState {
+                    value: UNASSIGNED,
+                    level: 0,
+                    reason: usize::MAX,
+                    activity: 0.0,
+                    phase: false,
+                };
+                num_vars
+            ],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            propagate_head: 0,
+            var_inc: 1.0,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            ok: true,
+        };
+        for clause in cnf.clauses() {
+            solver.add_clause_internal(clause.clone());
+        }
+        solver
+    }
+
+    /// Number of conflicts encountered so far.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Number of decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of unit propagations performed so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    fn lit_value(&self, lit: Lit) -> u8 {
+        let v = self.vars[lit.var().index()].value;
+        if v == UNASSIGNED {
+            UNASSIGNED
+        } else if lit.is_positive() {
+            v
+        } else {
+            1 - v
+        }
+    }
+
+    fn add_clause_internal(&mut self, mut lits: Vec<Lit>) {
+        if !self.ok {
+            return;
+        }
+        // Remove duplicates; detect tautologies.
+        lits.sort_by_key(|l| l.code());
+        lits.dedup();
+        for i in 1..lits.len() {
+            if lits[i].var() == lits[i - 1].var() {
+                return; // tautology: contains x and !x
+            }
+        }
+        // Drop literals already false at level 0, satisfied clauses are kept
+        // as-is (only called before solving, so everything is level 0).
+        lits.retain(|&l| !(self.lit_value(l) == 0 && self.vars[l.var().index()].level == 0));
+        match lits.len() {
+            0 => {
+                self.ok = false;
+            }
+            1 => {
+                if self.lit_value(lits[0]) == UNASSIGNED {
+                    self.enqueue(lits[0], usize::MAX);
+                } else if self.lit_value(lits[0]) == 0 {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[lits[0].code()].push(idx);
+                self.watches[lits[1].code()].push(idx);
+                self.clauses.push(lits);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: usize) {
+        let var = lit.var().index();
+        debug_assert_eq!(self.vars[var].value, UNASSIGNED);
+        self.vars[var].value = u8::from(lit.is_positive());
+        self.vars[var].level = self.trail_lim.len() as u32;
+        self.vars[var].reason = reason;
+        self.vars[var].phase = lit.is_positive();
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let lit = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            self.propagations += 1;
+            let falsified = lit.negate();
+            let mut watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let clause_idx = watch_list[i];
+                // Ensure the falsified literal is at position 1.
+                let (w0, w1) = {
+                    let clause = &mut self.clauses[clause_idx];
+                    if clause[0] == falsified {
+                        clause.swap(0, 1);
+                    }
+                    (clause[0], clause[1])
+                };
+                debug_assert_eq!(w1, falsified);
+                if self.lit_value(w0) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = None;
+                {
+                    let clause = &self.clauses[clause_idx];
+                    for (pos, &cand) in clause.iter().enumerate().skip(2) {
+                        if self.lit_value(cand) != 0 {
+                            found = Some(pos);
+                            break;
+                        }
+                    }
+                }
+                if let Some(pos) = found {
+                    let clause = &mut self.clauses[clause_idx];
+                    clause.swap(1, pos);
+                    let new_watch = clause[1];
+                    self.watches[new_watch.code()].push(clause_idx);
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // No new watch: the clause is unit or conflicting.
+                if self.lit_value(w0) == 0 {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[falsified.code()].extend_from_slice(&watch_list[i..]);
+                    watch_list.truncate(i);
+                    self.watches[falsified.code()].append(&mut watch_list);
+                    return Some(clause_idx);
+                }
+                self.enqueue(w0, clause_idx);
+                i += 1;
+            }
+            self.watches[falsified.code()].append(&mut watch_list);
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: VarId) {
+        self.vars[v.index()].activity += self.var_inc;
+        if self.vars[v.index()].activity > 1e100 {
+            for state in &mut self.vars {
+                state.activity *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause and the level
+    /// to backtrack to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current_level = self.trail_lim.len() as u32;
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.vars.len()];
+        let mut counter = 0usize;
+        let mut clause_idx = conflict;
+        let mut trail_pos = self.trail.len();
+        let mut asserting_lit: Option<Lit> = None;
+
+        loop {
+            // `asserting_lit` is the literal resolved on (skip it in the clause).
+            let clause = self.clauses[clause_idx].clone();
+            for &lit in &clause {
+                if Some(lit) == asserting_lit {
+                    continue;
+                }
+                let v = lit.var();
+                if seen[v.index()] || self.vars[v.index()].level == 0 {
+                    continue;
+                }
+                seen[v.index()] = true;
+                self.bump_var(v);
+                if self.vars[v.index()].level == current_level {
+                    counter += 1;
+                } else {
+                    learned.push(lit);
+                }
+            }
+            // Find the next literal on the trail (highest level) to resolve.
+            loop {
+                trail_pos -= 1;
+                let lit = self.trail[trail_pos];
+                if seen[lit.var().index()] {
+                    seen[lit.var().index()] = false;
+                    counter -= 1;
+                    if counter == 0 {
+                        // First UIP found.
+                        learned.insert(0, lit.negate());
+                        let backtrack_level = learned
+                            .iter()
+                            .skip(1)
+                            .map(|l| self.vars[l.var().index()].level)
+                            .max()
+                            .unwrap_or(0);
+                        return (learned, backtrack_level);
+                    }
+                    clause_idx = self.vars[lit.var().index()].reason;
+                    debug_assert_ne!(clause_idx, usize::MAX);
+                    asserting_lit = Some(lit);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-empty trail_lim");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("non-empty trail");
+                let v = lit.var().index();
+                self.vars[v].value = UNASSIGNED;
+                self.vars[v].reason = usize::MAX;
+            }
+        }
+        self.propagate_head = self.trail.len().min(self.propagate_head);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, state) in self.vars.iter().enumerate() {
+            if state.value == UNASSIGNED {
+                match best {
+                    Some((act, _)) if act >= state.activity => {}
+                    _ => best = Some((state.activity, i)),
+                }
+            }
+        }
+        best.map(|(_, i)| Lit::new(VarId(i as u32), self.vars[i].phase))
+    }
+
+    /// Solves the formula.
+    ///
+    /// `conflict_budget` bounds the number of conflicts; when exhausted the
+    /// result is [`SolveResult::Unknown`] (the analogue of a timeout in the
+    /// paper's experiments). `None` means unlimited.
+    pub fn solve(&mut self, conflict_budget: Option<u64>) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            return SolveResult::Unsat;
+        }
+        let mut restart_limit = 100u64;
+        let mut conflicts_since_restart = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    return SolveResult::Unsat;
+                }
+                if let Some(budget) = conflict_budget {
+                    if self.conflicts >= budget {
+                        return SolveResult::Unknown;
+                    }
+                }
+                let (learned, backtrack_level) = self.analyze(conflict);
+                self.backtrack(backtrack_level);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    self.enqueue(asserting, usize::MAX);
+                } else {
+                    let idx = self.clauses.len();
+                    self.watches[learned[0].code()].push(idx);
+                    // Watch a literal from the backtrack level as the second watch.
+                    let mut second = 1;
+                    for (pos, &l) in learned.iter().enumerate().skip(1) {
+                        if self.vars[l.var().index()].level == backtrack_level {
+                            second = pos;
+                            break;
+                        }
+                    }
+                    let mut learned = learned;
+                    learned.swap(1, second);
+                    self.watches[learned[1].code()].push(idx);
+                    self.clauses.push(learned.clone());
+                    self.enqueue(asserting, idx);
+                }
+                self.var_inc /= 0.95;
+                if conflicts_since_restart >= restart_limit {
+                    conflicts_since_restart = 0;
+                    restart_limit = restart_limit + restart_limit / 2;
+                    self.backtrack(0);
+                }
+            } else {
+                match self.decide() {
+                    None => {
+                        let model = self
+                            .vars
+                            .iter()
+                            .map(|s| s.value == 1)
+                            .collect::<Vec<bool>>();
+                        return SolveResult::Sat(model);
+                    }
+                    Some(lit) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit, usize::MAX);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i32) -> Lit {
+        if v > 0 {
+            Lit::pos(VarId((v - 1) as u32))
+        } else {
+            Lit::neg(VarId((-v - 1) as u32))
+        }
+    }
+
+    fn cnf_from(num_vars: usize, clauses: &[&[i32]]) -> Cnf {
+        let mut cnf = Cnf::new();
+        for _ in 0..num_vars {
+            cnf.new_var();
+        }
+        for clause in clauses {
+            cnf.add_clause(clause.iter().map(|&v| lit(v)).collect());
+        }
+        cnf
+    }
+
+    fn check_model(clauses: &[&[i32]], model: &[bool]) {
+        for clause in clauses {
+            assert!(
+                clause.iter().any(|&v| {
+                    let val = model[(v.unsigned_abs() - 1) as usize];
+                    if v > 0 {
+                        val
+                    } else {
+                        !val
+                    }
+                }),
+                "clause {clause:?} not satisfied by {model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let clauses: &[&[i32]] = &[&[1, 2], &[-1]];
+        let mut solver = Solver::new(cnf_from(2, clauses));
+        match solver.solve(None) {
+            SolveResult::Sat(model) => check_model(clauses, &model),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        let mut solver = Solver::new(cnf_from(1, &[&[1], &[-1]]));
+        assert_eq!(solver.solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.new_var();
+        cnf.add_clause(vec![]);
+        assert_eq!(Solver::new(cnf).solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j. i in 0..3, j in 0..2.
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![var(i, 0), var(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    clauses.push(vec![-var(i1, j), -var(i2, j)]);
+                }
+            }
+        }
+        let clause_refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut solver = Solver::new(cnf_from(6, &clause_refs));
+        assert_eq!(solver.solve(None), SolveResult::Unsat);
+        assert!(solver.conflicts() > 0);
+    }
+
+    #[test]
+    fn random_3sat_agrees_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5a7);
+        for round in 0..60 {
+            let num_vars = rng.gen_range(3..9usize);
+            let num_clauses = rng.gen_range(2..(4 * num_vars));
+            let clauses: Vec<Vec<i32>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = rng.gen_range(1..=num_vars) as i32;
+                            if rng.gen() {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for assignment in 0u32..(1 << num_vars) {
+                for clause in &clauses {
+                    let ok = clause.iter().any(|&v| {
+                        let val = (assignment >> (v.unsigned_abs() - 1)) & 1 == 1;
+                        if v > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let clause_refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            let mut solver = Solver::new(cnf_from(num_vars, &clause_refs));
+            match solver.solve(None) {
+                SolveResult::Sat(model) => {
+                    assert!(brute_sat, "round {round}: solver SAT but brute force UNSAT");
+                    check_model(&clause_refs, &model);
+                }
+                SolveResult::Unsat => {
+                    assert!(!brute_sat, "round {round}: solver UNSAT but brute force SAT");
+                }
+                SolveResult::Unknown => panic!("no budget was set"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A moderately hard pigeonhole instance with a budget of one conflict.
+        let var = |i: usize, j: usize, holes: usize| (i * holes + j + 1) as i32;
+        let pigeons = 6;
+        let holes = 5;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..pigeons {
+            clauses.push((0..holes).map(|j| var(i, j, holes)).collect());
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    clauses.push(vec![-var(i1, j, holes), -var(i2, j, holes)]);
+                }
+            }
+        }
+        let clause_refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut solver = Solver::new(cnf_from(pigeons * holes, &clause_refs));
+        assert_eq!(solver.solve(Some(1)), SolveResult::Unknown);
+    }
+}

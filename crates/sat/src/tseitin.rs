@@ -1,0 +1,225 @@
+//! Tseitin encoding of gate-level netlists into CNF.
+
+use std::collections::HashMap;
+
+use gbmv_netlist::{GateKind, NetId, Netlist};
+
+use crate::cnf::{Cnf, Lit, VarId};
+
+/// The result of encoding a netlist: the CNF together with the mapping from
+/// nets to CNF variables.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// The clause database (to be extended by the caller, e.g. with miter
+    /// constraints, before solving).
+    pub cnf: Cnf,
+    /// CNF variable of every net.
+    pub net_vars: HashMap<NetId, VarId>,
+}
+
+impl Encoding {
+    /// The CNF variable of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net was not part of the encoded netlist.
+    pub fn var(&self, net: NetId) -> VarId {
+        self.net_vars[&net]
+    }
+}
+
+/// Encodes the netlist into CNF with one variable per net and the standard
+/// Tseitin clauses per gate. Constants become unit clauses.
+pub fn encode(netlist: &Netlist) -> Encoding {
+    let mut cnf = Cnf::new();
+    let mut net_vars = HashMap::new();
+    for i in 0..netlist.net_count() {
+        let net = NetId(i as u32);
+        net_vars.insert(net, cnf.new_var());
+    }
+    for gate in netlist.gates() {
+        let out = net_vars[&gate.output];
+        let ins: Vec<VarId> = gate.inputs.iter().map(|n| net_vars[n]).collect();
+        encode_gate(&mut cnf, gate.kind, out, &ins);
+    }
+    Encoding { cnf, net_vars }
+}
+
+/// Adds the Tseitin clauses of one gate `out = kind(ins)` to the CNF.
+pub fn encode_gate(cnf: &mut Cnf, kind: GateKind, out: VarId, ins: &[VarId]) {
+    let o = Lit::pos(out);
+    let no = Lit::neg(out);
+    match kind {
+        GateKind::Buf => {
+            cnf.add_clause(vec![no, Lit::pos(ins[0])]);
+            cnf.add_clause(vec![o, Lit::neg(ins[0])]);
+        }
+        GateKind::Not => {
+            cnf.add_clause(vec![no, Lit::neg(ins[0])]);
+            cnf.add_clause(vec![o, Lit::pos(ins[0])]);
+        }
+        GateKind::And | GateKind::Nand => {
+            let (t, nt) = if kind == GateKind::And { (o, no) } else { (no, o) };
+            // t -> every input; (all inputs) -> t
+            let mut long = vec![t];
+            for &i in ins {
+                cnf.add_clause(vec![nt, Lit::pos(i)]);
+                long.push(Lit::neg(i));
+            }
+            cnf.add_clause(long);
+        }
+        GateKind::Or | GateKind::Nor => {
+            let (t, nt) = if kind == GateKind::Or { (o, no) } else { (no, o) };
+            // every input -> t; t -> some input
+            let mut long = vec![nt];
+            for &i in ins {
+                cnf.add_clause(vec![t, Lit::neg(i)]);
+                long.push(Lit::pos(i));
+            }
+            cnf.add_clause(long);
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Chain XORs for arity > 2 using auxiliary variables.
+            let mut acc = ins[0];
+            for (idx, &next) in ins.iter().enumerate().skip(1) {
+                let target = if idx == ins.len() - 1 {
+                    out
+                } else {
+                    cnf.new_var()
+                };
+                let invert = idx == ins.len() - 1 && kind == GateKind::Xnor;
+                encode_xor2(cnf, target, acc, next, invert);
+                acc = target;
+            }
+            if ins.len() == 1 {
+                // Degenerate: out = in (or its negation for XNOR).
+                if kind == GateKind::Xor {
+                    cnf.add_clause(vec![no, Lit::pos(ins[0])]);
+                    cnf.add_clause(vec![o, Lit::neg(ins[0])]);
+                } else {
+                    cnf.add_clause(vec![no, Lit::neg(ins[0])]);
+                    cnf.add_clause(vec![o, Lit::pos(ins[0])]);
+                }
+            }
+        }
+        GateKind::Const0 => {
+            cnf.add_clause(vec![no]);
+        }
+        GateKind::Const1 => {
+            cnf.add_clause(vec![o]);
+        }
+    }
+}
+
+/// Encodes `z = a XOR b` (or `z = NOT(a XOR b)` when `invert`).
+fn encode_xor2(cnf: &mut Cnf, z: VarId, a: VarId, b: VarId, invert: bool) {
+    let (zp, zn) = if invert {
+        (Lit::neg(z), Lit::pos(z))
+    } else {
+        (Lit::pos(z), Lit::neg(z))
+    };
+    cnf.add_clause(vec![zn, Lit::pos(a), Lit::pos(b)]);
+    cnf.add_clause(vec![zn, Lit::neg(a), Lit::neg(b)]);
+    cnf.add_clause(vec![zp, Lit::pos(a), Lit::neg(b)]);
+    cnf.add_clause(vec![zp, Lit::neg(a), Lit::pos(b)]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+    use gbmv_netlist::Netlist;
+
+    /// For each gate kind, encode a one-gate netlist and check that the set
+    /// of satisfying assignments matches the gate's truth table.
+    #[test]
+    fn single_gate_encodings_match_truth_tables() {
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Xor,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xnor,
+        ] {
+            for pattern in 0..4u32 {
+                for out_val in [false, true] {
+                    let mut nl = Netlist::new("g");
+                    let a = nl.add_input("a");
+                    let b = nl.add_input("b");
+                    let z = nl.add_gate(kind, &[a, b], "z");
+                    nl.add_output("z", z);
+                    let enc = encode(&nl);
+                    let mut cnf = enc.cnf.clone();
+                    let av = pattern & 1 == 1;
+                    let bv = pattern & 2 != 0;
+                    cnf.add_clause(vec![Lit::new(enc.var(a), av)]);
+                    cnf.add_clause(vec![Lit::new(enc.var(b), bv)]);
+                    cnf.add_clause(vec![Lit::new(enc.var(z), out_val)]);
+                    let expected = kind.eval(&[av, bv]) == out_val;
+                    let result = Solver::new(cnf).solve(None);
+                    let sat = matches!(result, SolveResult::Sat(_));
+                    assert_eq!(
+                        sat, expected,
+                        "{kind:?} a={av} b={bv} z={out_val} must be {}",
+                        if expected { "SAT" } else { "UNSAT" }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_input_gates_encode_correctly() {
+        for kind in [GateKind::And, GateKind::Or, GateKind::Xor] {
+            for pattern in 0..8u32 {
+                let bits = [pattern & 1 == 1, pattern & 2 != 0, pattern & 4 != 0];
+                let mut nl = Netlist::new("g3");
+                let ins: Vec<_> = (0..3).map(|i| nl.add_input(format!("i{i}"))).collect();
+                let z = nl.add_gate(kind, &ins, "z");
+                nl.add_output("z", z);
+                let enc = encode(&nl);
+                let mut cnf = enc.cnf.clone();
+                for (net, &val) in ins.iter().zip(&bits) {
+                    cnf.add_clause(vec![Lit::new(enc.var(*net), val)]);
+                }
+                cnf.add_clause(vec![Lit::new(enc.var(z), kind.eval(&bits))]);
+                assert!(
+                    matches!(Solver::new(cnf).solve(None), SolveResult::Sat(_)),
+                    "{kind:?} with {bits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_become_units() {
+        let mut nl = Netlist::new("c");
+        let zero = nl.const0("zero");
+        let one = nl.const1("one");
+        nl.add_output("zero", zero);
+        nl.add_output("one", one);
+        let enc = encode(&nl);
+        let mut cnf = enc.cnf.clone();
+        cnf.add_clause(vec![Lit::pos(enc.var(zero))]);
+        assert_eq!(Solver::new(cnf).solve(None), SolveResult::Unsat);
+        let mut cnf = enc.cnf.clone();
+        cnf.add_clause(vec![Lit::neg(enc.var(one))]);
+        assert_eq!(Solver::new(cnf).solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn inverter_and_buffer() {
+        let mut nl = Netlist::new("inv");
+        let a = nl.add_input("a");
+        let n = nl.not1(a, "n");
+        let b = nl.add_gate(GateKind::Buf, &[n], "b");
+        nl.add_output("b", b);
+        let enc = encode(&nl);
+        let mut cnf = enc.cnf.clone();
+        // a = 1 and b = 1 must be impossible (b = !a).
+        cnf.add_clause(vec![Lit::pos(enc.var(a))]);
+        cnf.add_clause(vec![Lit::pos(enc.var(b))]);
+        assert_eq!(Solver::new(cnf).solve(None), SolveResult::Unsat);
+    }
+}

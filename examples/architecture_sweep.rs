@@ -1,0 +1,48 @@
+//! Sweeps every multiplier architecture family (2 partial-product generators
+//! x 5 accumulators x 5 final adders = 50 architectures) at a small width and
+//! verifies each with MT-LR, printing a compact matrix — the full architecture
+//! space the paper's benchmark set is drawn from.
+//!
+//! Run with `cargo run --release --example architecture_sweep`.
+
+use std::time::Instant;
+
+use gbmv::core::{verify_multiplier, Method, VerifyConfig};
+use gbmv::genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
+
+fn main() {
+    let width = 6;
+    let config = VerifyConfig {
+        extract_counterexample: false,
+        ..VerifyConfig::default()
+    };
+    println!("MT-LR verification of all architectures at width {width} (time in ms):");
+    println!(
+        "{:<6} {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "PP", "Acc", "RC", "CL", "BK", "KS", "HC"
+    );
+    let mut verified = 0;
+    let mut total = 0;
+    for pp in PartialProduct::all() {
+        for acc in Accumulator::all() {
+            let mut row = format!("{:<6} {:<6}", pp.abbrev(), acc.abbrev());
+            for fsa in FinalAdder::all() {
+                let spec = MultiplierSpec::new(width, pp, acc, fsa);
+                let netlist = spec.build();
+                let start = Instant::now();
+                let report = verify_multiplier(&netlist, width, Method::MtLr, &config);
+                let ms = start.elapsed().as_millis();
+                total += 1;
+                if report.outcome.is_verified() {
+                    verified += 1;
+                    row.push_str(&format!(" {ms:>10}"));
+                } else {
+                    row.push_str(&format!(" {:>10}", "FAIL"));
+                }
+            }
+            println!("{row}");
+        }
+    }
+    println!("verified {verified}/{total} architectures");
+    assert_eq!(verified, total);
+}

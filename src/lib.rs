@@ -1,0 +1,40 @@
+//! # gbmv — Gröbner Basis Multiplier Verification
+//!
+//! A reproduction of *"Formal Verification of Integer Multipliers by Combining
+//! Gröbner Basis with Logic Reduction"* (Sayed-Ahmed et al., DATE 2016).
+//!
+//! This facade crate re-exports the workspace crates under a single name:
+//!
+//! * [`netlist`] — gate-level circuit representation, simulation, analysis.
+//! * [`genmul`] — generators for adders and multipliers in the architecture
+//!   families evaluated by the paper (simple/Booth partial products, array /
+//!   Wallace / Dadda / (4,2)-compressor / redundant-binary accumulation,
+//!   ripple-carry / carry-lookahead / Brent-Kung / Kogge-Stone / Han-Carlson
+//!   final adders).
+//! * [`poly`] — multivariate polynomials over the Boolean domain with
+//!   arbitrary-precision integer coefficients.
+//! * [`sat`] — a CDCL SAT solver and miter-based combinational equivalence
+//!   checking (the baseline the paper compares against).
+//! * [`core`] — the membership-testing verifier with fanout rewriting (MT-FO)
+//!   and logic-reduction rewriting (MT-LR), the paper's contribution.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gbmv::genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
+//! use gbmv::core::{Method, VerifyConfig, verify_multiplier};
+//!
+//! // Generate a 4x4 Booth-encoded Wallace-tree multiplier with a
+//! // carry-lookahead final adder and verify it.
+//! let spec = MultiplierSpec::new(4, PartialProduct::Booth, Accumulator::Wallace,
+//!                                FinalAdder::CarryLookAhead);
+//! let netlist = spec.build();
+//! let report = verify_multiplier(&netlist, 4, Method::MtLr, &VerifyConfig::default());
+//! assert!(report.outcome.is_verified());
+//! ```
+
+pub use gbmv_core as core;
+pub use gbmv_genmul as genmul;
+pub use gbmv_netlist as netlist;
+pub use gbmv_poly as poly;
+pub use gbmv_sat as sat;
