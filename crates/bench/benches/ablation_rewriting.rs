@@ -11,7 +11,9 @@ use gbmv_genmul::MultiplierSpec;
 
 fn bench_rewriting_schemes(c: &mut Criterion) {
     let width = 8;
-    let netlist = MultiplierSpec::parse("SP-CT-BK", width).expect("architecture").build();
+    let netlist = MultiplierSpec::parse("SP-CT-BK", width)
+        .expect("architecture")
+        .build();
     let base_model = AlgebraicModel::from_netlist(&netlist);
     let mut group = c.benchmark_group("ablation_rewriting");
     group.sample_size(10);

@@ -14,7 +14,9 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_simple_pp");
     group.sample_size(10);
     for arch in ["SP-AR-RC", "SP-WT-CL", "SP-CT-BK", "SP-DT-HC"] {
-        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        let netlist = MultiplierSpec::parse(arch, width)
+            .expect("architecture")
+            .build();
         group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
             b.iter(|| {
                 let report = verify_multiplier(nl, width, Method::MtLr, &config);
@@ -24,7 +26,9 @@ fn bench_table1(c: &mut Criterion) {
     }
     // MT-FO only on the architecture it can handle (the paper's point: it
     // succeeds on SP-AR-RC and blows up on the parallel ones).
-    let netlist = MultiplierSpec::parse("SP-AR-RC", width).expect("architecture").build();
+    let netlist = MultiplierSpec::parse("SP-AR-RC", width)
+        .expect("architecture")
+        .build();
     group.bench_with_input(BenchmarkId::new("MT-FO", "SP-AR-RC"), &netlist, |b, nl| {
         b.iter(|| {
             let report = verify_multiplier(nl, width, Method::MtFo, &config);

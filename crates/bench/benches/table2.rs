@@ -14,7 +14,9 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_booth_pp");
     group.sample_size(10);
     for arch in ["BP-AR-RC", "BP-WT-CL", "BP-CT-BK", "BP-DT-HC"] {
-        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        let netlist = MultiplierSpec::parse(arch, width)
+            .expect("architecture")
+            .build();
         group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
             b.iter(|| {
                 let report = verify_multiplier(nl, width, Method::MtLr, &config);

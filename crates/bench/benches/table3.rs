@@ -15,7 +15,9 @@ fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_gb_reduction");
     group.sample_size(10);
     for arch in ["BP-WT-CL", "SP-CT-BK", "SP-DT-HC"] {
-        let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+        let netlist = MultiplierSpec::parse(arch, width)
+            .expect("architecture")
+            .build();
         // Prepare the rewritten model once; the bench measures the reduction.
         let verifier = Verifier::new(&netlist);
         let spec = verifier.multiplier_spec(width);

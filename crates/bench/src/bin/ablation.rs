@@ -13,7 +13,9 @@ use gbmv_core::{verify_multiplier, Method, Outcome, VanishingRules, VerifyConfig
 use gbmv_genmul::MultiplierSpec;
 
 fn run(arch: &str, width: usize, method: Method, config: &VerifyConfig) -> String {
-    let netlist = MultiplierSpec::parse(arch, width).expect("architecture").build();
+    let netlist = MultiplierSpec::parse(arch, width)
+        .expect("architecture")
+        .build();
     let start = Instant::now();
     let report = verify_multiplier(&netlist, width, method, config);
     let elapsed = start.elapsed();

@@ -3,25 +3,45 @@
 //! commercial-CEC substitute), MT-FO and MT-LR.
 //!
 //! Configure with `GBMV_WIDTHS`, `GBMV_TIMEOUT_SECS`, `GBMV_MAX_TERMS`,
-//! `GBMV_CEC_CONFLICTS` (see the crate docs of `gbmv-bench`).
+//! `GBMV_CEC_CONFLICTS` (see the crate docs of `gbmv-bench`). Set
+//! `GBMV_BENCH_JSON` to additionally write the machine-readable
+//! `BENCH_table1.json` used to track the repo's perf trajectory.
 
 use gbmv_bench::{
-    print_comparison_header, print_comparison_row, run_algebraic, run_cec, table1_architectures,
-    HarnessConfig,
+    bench_json_path, print_comparison_header, print_comparison_row, run_algebraic, run_cec,
+    table1_architectures, write_bench_json, BenchRecord, HarnessConfig,
 };
 use gbmv_core::Method;
 
 fn main() {
     let config = HarnessConfig::from_env();
-    print_comparison_header(
-        "Table I: verification results for simple partial product multipliers",
-    );
+    let mut records = Vec::new();
+    print_comparison_header("Table I: verification results for simple partial product multipliers");
     for &width in &config.widths {
         for arch in table1_architectures() {
             let cec = run_cec(arch, width, &config);
-            let (fo, _) = run_algebraic(arch, width, Method::MtFo, &config);
-            let (lr, _) = run_algebraic(arch, width, Method::MtLr, &config);
+            let (fo, fo_report) = run_algebraic(arch, width, Method::MtFo, &config);
+            let (lr, lr_report) = run_algebraic(arch, width, Method::MtLr, &config);
             print_comparison_row(arch, width, &cec, &fo, &lr);
+            records.push(BenchRecord::from_cec(arch, width, &cec));
+            records.push(BenchRecord::from_algebraic(
+                arch,
+                width,
+                Method::MtFo,
+                &fo,
+                &fo_report,
+            ));
+            records.push(BenchRecord::from_algebraic(
+                arch,
+                width,
+                Method::MtLr,
+                &lr,
+                &lr_report,
+            ));
         }
+    }
+    if let Some(path) = bench_json_path("table1") {
+        write_bench_json(&path, &records).expect("write bench json");
+        println!("wrote {}", path.display());
     }
 }

@@ -2,25 +2,45 @@
 //! with **Booth partial products**. The CPP column of the paper is not
 //! applicable to Booth multipliers (marked "-" there) and is not reproduced.
 //!
-//! Configure with the `GBMV_*` environment variables (see `gbmv-bench`).
+//! Configure with the `GBMV_*` environment variables (see `gbmv-bench`). Set
+//! `GBMV_BENCH_JSON` to additionally write the machine-readable
+//! `BENCH_table2.json` used to track the repo's perf trajectory.
 
 use gbmv_bench::{
-    print_comparison_header, print_comparison_row, run_algebraic, run_cec, table2_architectures,
-    HarnessConfig,
+    bench_json_path, print_comparison_header, print_comparison_row, run_algebraic, run_cec,
+    table2_architectures, write_bench_json, BenchRecord, HarnessConfig,
 };
 use gbmv_core::Method;
 
 fn main() {
     let config = HarnessConfig::from_env();
-    print_comparison_header(
-        "Table II: verification results for Booth partial product multipliers",
-    );
+    let mut records = Vec::new();
+    print_comparison_header("Table II: verification results for Booth partial product multipliers");
     for &width in &config.widths {
         for arch in table2_architectures() {
             let cec = run_cec(arch, width, &config);
-            let (fo, _) = run_algebraic(arch, width, Method::MtFo, &config);
-            let (lr, _) = run_algebraic(arch, width, Method::MtLr, &config);
+            let (fo, fo_report) = run_algebraic(arch, width, Method::MtFo, &config);
+            let (lr, lr_report) = run_algebraic(arch, width, Method::MtLr, &config);
             print_comparison_row(arch, width, &cec, &fo, &lr);
+            records.push(BenchRecord::from_cec(arch, width, &cec));
+            records.push(BenchRecord::from_algebraic(
+                arch,
+                width,
+                Method::MtFo,
+                &fo,
+                &fo_report,
+            ));
+            records.push(BenchRecord::from_algebraic(
+                arch,
+                width,
+                Method::MtLr,
+                &lr,
+                &lr_report,
+            ));
         }
+    }
+    if let Some(path) = bench_json_path("table2") {
+        write_bench_json(&path, &records).expect("write bench json");
+        println!("wrote {}", path.display());
     }
 }

@@ -9,10 +9,12 @@
 //!
 //! * `GBMV_WIDTHS` — comma-separated operand widths (default `8,16`).
 //! * `GBMV_TIMEOUT_SECS` — per-instance budget in seconds (default `60`).
-//! * `GBMV_MAX_TERMS` — polynomial term limit (default `2000000`).
+//! * `GBMV_MAX_TERMS` — polynomial term limit (default `10000000`).
 //! * `GBMV_CEC_CONFLICTS` — conflict budget of the SAT miter baseline
 //!   (default `200000`).
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use gbmv_core::{verify_multiplier, Method, Outcome, Report, VerifyConfig};
@@ -37,7 +39,7 @@ impl Default for HarnessConfig {
         HarnessConfig {
             widths: vec![8, 16],
             timeout: Duration::from_secs(60),
-            max_terms: 2_000_000,
+            max_terms: 10_000_000,
             cec_conflicts: 200_000,
         }
     }
@@ -124,8 +126,8 @@ pub fn run_algebraic(
     method: Method,
     config: &HarnessConfig,
 ) -> (Cell, Report) {
-    let spec = MultiplierSpec::parse(arch, width)
-        .unwrap_or_else(|| panic!("unknown architecture {arch}"));
+    let spec =
+        MultiplierSpec::parse(arch, width).unwrap_or_else(|| panic!("unknown architecture {arch}"));
     let netlist = spec.build();
     let start = Instant::now();
     let report = verify_multiplier(&netlist, width, method, &config.verify_config());
@@ -140,8 +142,8 @@ pub fn run_algebraic(
 
 /// Runs the SAT miter baseline (the "Commercial"/ABC `cec` substitute).
 pub fn run_cec(arch: &str, width: usize, config: &HarnessConfig) -> Cell {
-    let spec = MultiplierSpec::parse(arch, width)
-        .unwrap_or_else(|| panic!("unknown architecture {arch}"));
+    let spec =
+        MultiplierSpec::parse(arch, width).unwrap_or_else(|| panic!("unknown architecture {arch}"));
     let netlist = spec.build();
     let start = Instant::now();
     let result = check_against_product(&netlist, width, Some(config.cec_conflicts));
@@ -152,6 +154,94 @@ pub fn run_cec(arch: &str, width: usize, config: &HarnessConfig) -> Cell {
         EquivalenceResult::NotEquivalent(_) => "FAIL",
     };
     Cell { elapsed, status }
+}
+
+/// One machine-readable benchmark measurement, serialized into the
+/// `BENCH_table{1,2}.json` files that track the repo's perf trajectory.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Architecture name (e.g. `SP-CT-BK`).
+    pub arch: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Method name (`MT-FO`, `MT-LR`, `CEC`).
+    pub method: String,
+    /// Wall-clock time in milliseconds.
+    pub elapsed_ms: u128,
+    /// Peak intermediate polynomial size over rewriting and reduction
+    /// (0 for the SAT baseline).
+    pub peak_terms: usize,
+    /// `"ok"`, `"TO"` or `"FAIL"`.
+    pub status: String,
+}
+
+impl BenchRecord {
+    /// Builds a record from an algebraic verification cell and report.
+    pub fn from_algebraic(
+        arch: &str,
+        width: usize,
+        method: Method,
+        cell: &Cell,
+        report: &Report,
+    ) -> Self {
+        BenchRecord {
+            arch: arch.to_string(),
+            width,
+            method: method.name().to_string(),
+            elapsed_ms: cell.elapsed.as_millis(),
+            peak_terms: report
+                .stats
+                .rewrite
+                .peak_terms
+                .max(report.stats.reduction.peak_terms),
+            status: cell.status.to_string(),
+        }
+    }
+
+    /// Builds a record from a SAT-baseline cell.
+    pub fn from_cec(arch: &str, width: usize, cell: &Cell) -> Self {
+        BenchRecord {
+            arch: arch.to_string(),
+            width,
+            method: "CEC".to_string(),
+            elapsed_ms: cell.elapsed.as_millis(),
+            peak_terms: 0,
+            status: cell.status.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"arch\": \"{}\", \"width\": {}, \"method\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"status\": \"{}\"}}",
+            self.arch, self.width, self.method, self.elapsed_ms, self.peak_terms, self.status
+        )
+    }
+}
+
+/// The output path for a table's JSON records when `GBMV_BENCH_JSON` is set
+/// to a truthy value (`BENCH_<table>.json` in the current directory), `None`
+/// when unset, empty or `0`.
+pub fn bench_json_path(table: &str) -> Option<PathBuf> {
+    match std::env::var("GBMV_BENCH_JSON") {
+        Ok(value) if !value.is_empty() && value != "0" => {
+            Some(PathBuf::from(format!("BENCH_{table}.json")))
+        }
+        _ => None,
+    }
+}
+
+/// Writes benchmark records as a JSON array (one record per line for easy
+/// diffing). All record fields are plain identifiers/numbers, so no string
+/// escaping is required.
+pub fn write_bench_json(path: &PathBuf, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "[")?;
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        writeln!(file, "  {}{}", record.to_json(), comma)?;
+    }
+    writeln!(file, "]")?;
+    Ok(())
 }
 
 /// The simple-partial-product architectures of Table I.
@@ -222,6 +312,27 @@ mod tests {
         assert!(report.outcome.is_verified());
         let cec = run_cec("SP-AR-RC", 4, &config);
         assert_eq!(cec.status, "ok");
+    }
+
+    #[test]
+    fn bench_records_serialize_to_json() {
+        let cell = Cell {
+            elapsed: Duration::from_millis(42),
+            status: "ok",
+        };
+        let record = BenchRecord::from_cec("SP-AR-RC", 8, &cell);
+        assert_eq!(
+            record.to_json(),
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"method\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"status\": \"ok\"}"
+        );
+        let dir = std::env::temp_dir().join("gbmv_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        write_bench_json(&path, &[record.clone(), record]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert_eq!(text.matches("SP-AR-RC").count(), 2);
+        assert!(text.trim_end().ends_with(']'));
     }
 
     #[test]

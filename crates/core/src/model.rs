@@ -1,7 +1,5 @@
-use std::collections::{HashMap, HashSet};
-
 use gbmv_netlist::{analysis, GateKind, NetId, Netlist};
-use gbmv_poly::{Int, Monomial, Polynomial, Var};
+use gbmv_poly::{FastMap, FastSet, Int, Monomial, Polynomial, Var};
 
 /// The structural definition of a gate, kept alongside the algebraic model so
 /// that the XOR-AND vanishing rule can recognise monomials that always
@@ -29,7 +27,7 @@ pub struct GateFunction {
 #[derive(Debug, Clone)]
 pub struct AlgebraicModel {
     /// Tail polynomial per gate-output variable.
-    tails: HashMap<Var, Polynomial>,
+    tails: FastMap<Var, Polynomial>,
     /// Gate-output variables in ascending topological order (inputs side
     /// first). The reverse is the substitution order of the GB reduction.
     topo_order: Vec<Var>,
@@ -39,10 +37,14 @@ pub struct AlgebraicModel {
     inputs: Vec<Var>,
     /// Primary output variables in declaration order.
     outputs: Vec<Var>,
+    /// O(1) membership indices over `inputs` / `outputs`; queried once per
+    /// candidate variable in the rewrite inner loop.
+    input_set: FastSet<Var>,
+    output_set: FastSet<Var>,
     /// Fanout count per variable index (from the original netlist).
     fanout: Vec<usize>,
     /// Structural gate definitions for the vanishing rule.
-    gate_functions: HashMap<Var, GateFunction>,
+    gate_functions: FastMap<Var, GateFunction>,
     /// Net names, for diagnostics.
     names: Vec<String>,
 }
@@ -58,8 +60,8 @@ impl AlgebraicModel {
         let levels = analysis::logic_levels(netlist);
         let fanout = analysis::fanout_counts(netlist);
         let order = analysis::topological_order(netlist).expect("netlist must be acyclic");
-        let mut tails = HashMap::new();
-        let mut gate_functions = HashMap::new();
+        let mut tails = FastMap::default();
+        let mut gate_functions = FastMap::default();
         let mut topo_order = Vec::new();
         for net in order {
             if let Some(gate) = netlist.driver(net) {
@@ -78,8 +80,10 @@ impl AlgebraicModel {
                 topo_order.push(out);
             }
         }
-        let inputs = netlist.inputs().iter().map(|n| Var(n.0)).collect();
-        let outputs = netlist.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let inputs: Vec<Var> = netlist.inputs().iter().map(|n| Var(n.0)).collect();
+        let outputs: Vec<Var> = netlist.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let input_set: FastSet<Var> = inputs.iter().copied().collect();
+        let output_set: FastSet<Var> = outputs.iter().copied().collect();
         let names = (0..netlist.net_count())
             .map(|i| netlist.net_name(NetId(i as u32)).to_string())
             .collect();
@@ -89,6 +93,8 @@ impl AlgebraicModel {
             levels,
             inputs,
             outputs,
+            input_set,
+            output_set,
             fanout,
             gate_functions,
             names,
@@ -182,13 +188,15 @@ impl AlgebraicModel {
     }
 
     /// Returns `true` if `v` is a primary input.
+    #[inline]
     pub fn is_input(&self, v: Var) -> bool {
-        self.inputs.contains(&v)
+        self.input_set.contains(&v)
     }
 
     /// Returns `true` if `v` is a primary output.
+    #[inline]
     pub fn is_output(&self, v: Var) -> bool {
-        self.outputs.contains(&v)
+        self.output_set.contains(&v)
     }
 
     /// The structural gate definition of `v`, if `v` is a gate output.
@@ -198,7 +206,7 @@ impl AlgebraicModel {
 
     /// All structural gate definitions (used to build the vanishing-rule
     /// index).
-    pub fn gate_functions(&self) -> &HashMap<Var, GateFunction> {
+    pub fn gate_functions(&self) -> &FastMap<Var, GateFunction> {
         &self.gate_functions
     }
 
@@ -209,8 +217,8 @@ impl AlgebraicModel {
 
     /// The set of variables that have fanout greater than one, plus primary
     /// inputs and outputs: the keep-set of *fanout rewriting* (MT-FO).
-    pub fn fanout_keep_set(&self) -> HashSet<Var> {
-        let mut set: HashSet<Var> = self
+    pub fn fanout_keep_set(&self) -> FastSet<Var> {
+        let mut set: FastSet<Var> = self
             .topo_order
             .iter()
             .copied()
@@ -224,8 +232,8 @@ impl AlgebraicModel {
     /// The set of variables that are inputs or outputs of XOR (or XNOR)
     /// gates, plus primary inputs and outputs: the keep-set of *XOR
     /// rewriting*.
-    pub fn xor_keep_set(&self) -> HashSet<Var> {
-        let mut set = HashSet::new();
+    pub fn xor_keep_set(&self) -> FastSet<Var> {
+        let mut set = FastSet::default();
         for (&out, gf) in &self.gate_functions {
             if matches!(gf.kind, GateKind::Xor | GateKind::Xnor) {
                 set.insert(out);
@@ -240,14 +248,14 @@ impl AlgebraicModel {
     /// The set of variables used in more than one polynomial of the current
     /// model, plus primary inputs and outputs: the keep-set of *common
     /// rewriting*.
-    pub fn common_keep_set(&self) -> HashSet<Var> {
-        let mut counts: HashMap<Var, usize> = HashMap::new();
+    pub fn common_keep_set(&self) -> FastSet<Var> {
+        let mut counts: FastMap<Var, usize> = FastMap::default();
         for tail in self.tails.values() {
             for v in tail.vars() {
                 *counts.entry(v).or_insert(0) += 1;
             }
         }
-        let mut set: HashSet<Var> = counts
+        let mut set: FastSet<Var> = counts
             .into_iter()
             .filter(|&(_, c)| c > 1)
             .map(|(v, _)| v)

@@ -20,10 +20,9 @@
 //! application of XOR rewriting followed by common rewriting; see
 //! [`logic_reduction_rewriting`].
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use gbmv_poly::Var;
+use gbmv_poly::{debug_timer, FastSet, Polynomial, Var};
 
 use crate::model::AlgebraicModel;
 use crate::vanishing::{VanishingRules, VanishingTracker};
@@ -92,7 +91,7 @@ impl RewriteStats {
 }
 
 /// Computes the keep-set `V` of a scheme for the current model.
-pub fn keep_set(model: &AlgebraicModel, scheme: RewritingScheme) -> HashSet<Var> {
+pub fn keep_set(model: &AlgebraicModel, scheme: RewritingScheme) -> FastSet<Var> {
     match scheme {
         RewritingScheme::Fanout => model.fanout_keep_set(),
         RewritingScheme::Xor => model.xor_keep_set(),
@@ -110,12 +109,15 @@ pub fn keep_set(model: &AlgebraicModel, scheme: RewritingScheme) -> HashSet<Var>
 /// the model.
 pub fn gb_rewrite(
     model: &mut AlgebraicModel,
-    keep: &HashSet<Var>,
+    keep: &FastSet<Var>,
     mut vanishing: Option<&mut VanishingTracker>,
     config: &RewriteConfig,
 ) -> RewriteStats {
     let start = Instant::now();
     let mut stats = RewriteStats::default();
+    // Scratch polynomial reused across all substitutions of the pass, so each
+    // step reuses the previous term table instead of reallocating.
+    let mut scratch = Polynomial::zero();
     // "in reverse order of their leading monomial variables": with the
     // monomial order being the reverse topological order of the circuit, this
     // means processing the polynomials from the inputs side towards the
@@ -131,24 +133,13 @@ pub fn gb_rewrite(
                 stats.limit_exceeded = true;
                 break;
             }
-            // Choose the substitution candidate with the smallest tail, as the
-            // paper prescribes; break ties by variable index for determinism.
-            let candidate = tail
-                .vars()
-                .into_iter()
-                .filter(|u| !keep.contains(u) && !model.is_input(*u) && model.tail(*u).is_some())
-                .min_by_key(|u| {
-                    (
-                        model.tail(*u).map(|t| t.num_terms()).unwrap_or(usize::MAX),
-                        u.0,
-                    )
-                });
-            let vt = match candidate {
+            let vt = match smallest_tail_candidate(model, &tail, keep) {
                 Some(u) => u,
                 None => break,
             };
             let replacement = model.tail(vt).expect("candidate has a tail").clone();
-            tail = tail.substitute(vt, &replacement);
+            tail.substitute_into(vt, &replacement, &mut scratch);
+            std::mem::swap(&mut tail, &mut scratch);
             stats.substitutions += 1;
             if let Some(tracker) = vanishing.as_deref_mut() {
                 let removed = tracker.apply(&mut tail);
@@ -180,23 +171,56 @@ pub fn gb_rewrite(
     stats
 }
 
+/// Chooses the substitution candidate with the smallest tail, as the paper
+/// prescribes, breaking ties by variable index for determinism.
+///
+/// Iterates the term monomials directly instead of materializing the set of
+/// all tail variables per step — the previous implementation allocated a
+/// fresh `HashSet<Var>` on every substitution of the rewrite loop. Duplicate
+/// variables across monomials re-run the keep/input/tail probes but never
+/// allocate.
+fn smallest_tail_candidate(
+    model: &AlgebraicModel,
+    tail: &Polynomial,
+    keep: &FastSet<Var>,
+) -> Option<Var> {
+    let mut best: Option<(usize, u32)> = None;
+    for (m, _) in tail.iter() {
+        for u in m.vars() {
+            if keep.contains(&u) || model.is_input(u) {
+                continue;
+            }
+            if let Some(t) = model.tail(u) {
+                let key = (t.num_terms(), u.0);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+    }
+    best.map(|(_, u)| Var(u))
+}
+
 /// Fanout rewriting: the Step-2 scheme of the MT-FO baseline.
 pub fn fanout_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Fanout);
-    gb_rewrite(model, &keep, None, config)
+    debug_timer!("fanout_rewriting", gb_rewrite(model, &keep, None, config))
 }
 
 /// XOR rewriting with the XOR-AND vanishing rule (first half of MT-LR).
 pub fn xor_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Xor);
     let mut tracker = VanishingTracker::new(model, config.rules);
-    gb_rewrite(model, &keep, Some(&mut tracker), config)
+    debug_timer!(
+        "xor_rewriting",
+        gb_rewrite(model, &keep, Some(&mut tracker), config)
+    )
 }
 
 /// Common rewriting (second half of MT-LR).
 pub fn common_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Common);
-    gb_rewrite(model, &keep, None, config)
+    debug_timer!("common_rewriting", gb_rewrite(model, &keep, None, config))
 }
 
 /// Logic reduction rewriting (Algorithm 3): XOR rewriting followed by common

@@ -1,7 +1,5 @@
-use std::collections::HashMap;
-
 use gbmv_netlist::GateKind;
-use gbmv_poly::{Monomial, Polynomial, Var};
+use gbmv_poly::{FastMap, Monomial, Polynomial, Var};
 
 use crate::model::AlgebraicModel;
 
@@ -65,21 +63,21 @@ impl VanishingRules {
 pub struct VanishingTracker {
     rules: VanishingRules,
     /// AND outputs by their (sorted) input pair.
-    and_outputs: HashMap<(Var, Var), Vec<Var>>,
+    and_outputs: FastMap<(Var, Var), Vec<Var>>,
     /// NOR outputs by their (sorted) input pair.
-    nor_outputs: HashMap<(Var, Var), Vec<Var>>,
+    nor_outputs: FastMap<(Var, Var), Vec<Var>>,
     /// For every variable that is the output of a 2-input XOR gate, its input
     /// pair.
-    xor_inputs: HashMap<Var, (Var, Var)>,
+    xor_inputs: FastMap<Var, (Var, Var)>,
     cancelled: u64,
 }
 
 impl VanishingTracker {
     /// Builds the tracker from the structural gate information of a model.
     pub fn new(model: &AlgebraicModel, rules: VanishingRules) -> Self {
-        let mut and_outputs: HashMap<(Var, Var), Vec<Var>> = HashMap::new();
-        let mut nor_outputs: HashMap<(Var, Var), Vec<Var>> = HashMap::new();
-        let mut xor_inputs = HashMap::new();
+        let mut and_outputs: FastMap<(Var, Var), Vec<Var>> = FastMap::default();
+        let mut nor_outputs: FastMap<(Var, Var), Vec<Var>> = FastMap::default();
+        let mut xor_inputs = FastMap::default();
         for (&out, gf) in model.gate_functions() {
             if gf.inputs.len() != 2 {
                 continue;
@@ -177,14 +175,7 @@ mod tests {
         let z = nl.or2(x, d, "z");
         let z2 = nl.or2(z, n, "z2");
         nl.add_output("z2", z2);
-        (
-            nl.clone(),
-            Var(a.0),
-            Var(b.0),
-            Var(x.0),
-            Var(d.0),
-            Var(n.0),
-        )
+        (nl.clone(), Var(a.0), Var(b.0), Var(x.0), Var(d.0), Var(n.0))
     }
 
     #[test]

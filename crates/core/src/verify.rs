@@ -2,7 +2,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use gbmv_netlist::Netlist;
-use gbmv_poly::{spec, Polynomial, Var};
+use gbmv_poly::{debug_timer, spec, Polynomial, Var};
 
 use crate::model::AlgebraicModel;
 use crate::reduction::{GbReduction, ReductionOutcome, ReductionStats};
@@ -30,7 +30,12 @@ pub enum Method {
 impl Method {
     /// All methods, in the order the paper's tables list them.
     pub fn all() -> [Method; 4] {
-        [Method::MtNaive, Method::MtFo, Method::MtXorOnly, Method::MtLr]
+        [
+            Method::MtNaive,
+            Method::MtFo,
+            Method::MtXorOnly,
+            Method::MtLr,
+        ]
     }
 
     /// Short display name matching the paper.
@@ -71,7 +76,7 @@ pub struct VerifyConfig {
 impl Default for VerifyConfig {
     fn default() -> Self {
         VerifyConfig {
-            max_terms: 2_000_000,
+            max_terms: 10_000_000,
             timeout: Duration::from_secs(600),
             rules: VanishingRules::default(),
             modular: true,
@@ -273,7 +278,15 @@ impl Verifier {
             };
         }
         let remaining = config.timeout.saturating_sub(start.elapsed());
-        let engine = GbReduction::new(config.max_terms, remaining);
+        let mut engine = GbReduction::new(config.max_terms, remaining);
+        // When the specification is modular, drop coefficient multiples of
+        // 2^k *during* the reduction as well (sound, and essential for Booth
+        // and redundant-binary circuits; see `GbReduction::modulus_bits`).
+        if config.modular {
+            if let Some(k) = modulus_bits {
+                engine = engine.with_modulus(k);
+            }
+        }
         // For the logic-reduction methods, keep removing vanishing monomials
         // during the reduction as well: the substitution of independent model
         // polynomials into the specification can re-create them (see
@@ -282,11 +295,14 @@ impl Verifier {
             Method::MtLr | Method::MtXorOnly => {
                 let mut tracker =
                     crate::vanishing::VanishingTracker::new(&self.model, config.rules);
-                let result = engine.reduce_with_vanishing(&model, spec, &mut tracker);
+                let result = debug_timer!(
+                    "gb_reduction",
+                    engine.reduce_with_vanishing(&model, spec, &mut tracker)
+                );
                 stats.rewrite.cancelled_vanishing += tracker.cancelled();
                 result
             }
-            _ => engine.reduce(&model, spec),
+            _ => debug_timer!("gb_reduction", engine.reduce(&model, spec)),
         };
         stats.reduction = reduction_stats;
         stats.total_time = start.elapsed();
@@ -358,7 +374,9 @@ impl Verifier {
         // Heuristic 2: deterministic pseudo-random assignments.
         let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
         for _ in 0..256 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bits = seed;
             let assignment = |v: Var| {
                 let idx = inputs.iter().position(|&u| u == v).unwrap_or(0);

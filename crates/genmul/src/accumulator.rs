@@ -297,8 +297,12 @@ pub fn reduce_compressor42(nl: &mut Netlist, pps: &PartialProducts) -> ReducedRo
                             2 => {
                                 let x = bits[0];
                                 let y = bits.get(1).copied().or(cin_net).expect("two bits");
-                                let ha =
-                                    half_adder(nl, x, y, &format!("ct{level}_{chunk_index}_ha{col}"));
+                                let ha = half_adder(
+                                    nl,
+                                    x,
+                                    y,
+                                    &format!("ct{level}_{chunk_index}_ha{col}"),
+                                );
                                 out_sum[col] = Some(ha.sum);
                                 if col + 1 < width {
                                     out_carry[col + 1] = Some(ha.carry);
@@ -514,11 +518,7 @@ pub fn reduce_redundant_binary(nl: &mut Netlist, pps: &PartialProducts) -> Reduc
         let mut next: Vec<Rb> = Vec::new();
         let mut iter = nodes.into_iter();
         let mut pair_index = 0;
-        loop {
-            let first = match iter.next() {
-                Some(x) => x,
-                None => break,
-            };
+        while let Some(first) = iter.next() {
             let second = match iter.next() {
                 Some(x) => x,
                 None => {
@@ -562,8 +562,7 @@ pub fn reduce_redundant_binary(nl: &mut Netlist, pps: &PartialProducts) -> Reduc
                 let carry_in = c1[col];
                 match carry_in {
                     Some(c) => {
-                        let fa =
-                            full_adder(nl, s1[col], nm2[col], c, &format!("{tag}_l2_{col}"));
+                        let fa = full_adder(nl, s1[col], nm2[col], c, &format!("{tag}_l2_{col}"));
                         s2.push(fa.sum);
                         c2[col + 1] = Some(fa.carry);
                     }
@@ -589,10 +588,7 @@ pub fn reduce_redundant_binary(nl: &mut Netlist, pps: &PartialProducts) -> Reduc
                 .enumerate()
                 .map(|(c, &b)| nl.not1(b, format!("{tag}_outm_{c}")))
                 .collect();
-            next.push(Rb {
-                p: s2,
-                m: nm_out,
-            });
+            next.push(Rb { p: s2, m: nm_out });
             correction = correction.wrapping_sub(1) & modulus_mask;
             pair_index += 1;
         }

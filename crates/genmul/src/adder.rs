@@ -244,7 +244,8 @@ fn prefix_adder(
             while d < width {
                 let mut i = 2 * d - 1;
                 while i < width {
-                    cur[i] = prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bku{level}_{i}"));
+                    cur[i] =
+                        prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bku{level}_{i}"));
                     i += 2 * d;
                 }
                 d *= 2;
@@ -255,7 +256,8 @@ fn prefix_adder(
             while d >= 1 {
                 let mut i = 3 * d - 1;
                 while i < width {
-                    cur[i] = prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bkd{level}_{i}"));
+                    cur[i] =
+                        prefix_combine(nl, cur[i], cur[i - d], &format!("{tag}_bkd{level}_{i}"));
                     i += 2 * d;
                 }
                 if d == 1 {
@@ -269,7 +271,8 @@ fn prefix_adder(
             // Stage 1: combine odd positions with their even neighbour.
             let snapshot = cur.clone();
             for i in (1..width).step_by(2) {
-                cur[i] = prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hc0_{i}"));
+                cur[i] =
+                    prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hc0_{i}"));
             }
             // Kogge-Stone over odd positions only.
             let mut d = 2;
@@ -292,7 +295,8 @@ fn prefix_adder(
             // Final stage: even positions (>= 2) pick up the odd prefix below.
             let snapshot = cur.clone();
             for i in (2..width).step_by(2) {
-                cur[i] = prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hcf_{i}"));
+                cur[i] =
+                    prefix_combine(nl, snapshot[i], snapshot[i - 1], &format!("{tag}_hcf_{i}"));
             }
             let _ = level;
         }
@@ -302,12 +306,12 @@ fn prefix_adder(
     // G[i-1..0] (combined with cin through P[i-1..0] when cin is present).
     let mut carries: Vec<Option<NetId>> = Vec::with_capacity(width + 1);
     carries.push(cin);
-    for i in 0..width {
+    for (i, node) in cur.iter().enumerate().take(width) {
         let c = match cin {
-            None => cur[i].g,
+            None => node.g,
             Some(c0) => {
-                let t = nl.and2(cur[i].p, c0, format!("{tag}_cin_and{i}"));
-                nl.or2(cur[i].g, t, format!("{tag}_cin_or{i}"))
+                let t = nl.and2(node.p, c0, format!("{tag}_cin_and{i}"));
+                nl.or2(node.g, t, format!("{tag}_cin_or{i}"))
             }
         };
         carries.push(Some(c));

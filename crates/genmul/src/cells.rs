@@ -133,7 +133,10 @@ mod tests {
             let total: u32 = bits.iter().map(|&b| b as u32).sum();
             let out = nl.evaluate(&bits);
             let value = out[0] as u32 + 2 * (out[1] as u32 + out[2] as u32);
-            assert_eq!(value, total, "compressor must preserve the count for {bits:?}");
+            assert_eq!(
+                value, total,
+                "compressor must preserve the count for {bits:?}"
+            );
         }
     }
 

@@ -81,7 +81,11 @@ pub fn booth_partial_products(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Par
         // Triplet (b_{2i+1}, b_{2i}, b_{2i-1}); None means constant zero.
         let b_hi = b.get(2 * i + 1).copied();
         let b_mid = b.get(2 * i).copied();
-        let b_lo = if i == 0 { None } else { b.get(2 * i - 1).copied() };
+        let b_lo = if i == 0 {
+            None
+        } else {
+            b.get(2 * i - 1).copied()
+        };
 
         // one = b_mid ^ b_lo
         let one = match (b_mid, b_lo) {
@@ -164,10 +168,7 @@ pub fn booth_partial_products(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Par
         }
         rows.push(row);
     }
-    PartialProducts {
-        width: n,
-        rows,
-    }
+    PartialProducts { width: n, rows }
 }
 
 #[cfg(test)]
@@ -177,12 +178,7 @@ mod tests {
 
     /// Sums the partial product matrix arithmetically by simulating every bit
     /// and adding the weighted values; compares against `a * b mod 2^(2n)`.
-    fn check_partial_products(
-        booth: bool,
-        n: usize,
-        a_val: u64,
-        b_val: u64,
-    ) {
+    fn check_partial_products(booth: bool, n: usize, a_val: u64, b_val: u64) {
         let mut nl = Netlist::new("pp_test");
         let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
         let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();

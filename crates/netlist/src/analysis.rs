@@ -28,8 +28,8 @@ pub fn topological_order(netlist: &Netlist) -> Option<Vec<NetId>> {
         }
     }
     let mut queue: VecDeque<NetId> = VecDeque::new();
-    for id in 0..n {
-        if indeg[id] == 0 {
+    for (id, &deg) in indeg.iter().enumerate() {
+        if deg == 0 {
             queue.push_back(NetId(id as u32));
         }
     }
@@ -70,7 +70,11 @@ pub fn logic_levels(netlist: &Netlist) -> Vec<usize> {
                 .map(|i| level[i.index()])
                 .max()
                 .unwrap_or(0);
-            level[net.index()] = if gate.inputs.is_empty() { 0 } else { max_in + 1 };
+            level[net.index()] = if gate.inputs.is_empty() {
+                0
+            } else {
+                max_in + 1
+            };
         }
     }
     level

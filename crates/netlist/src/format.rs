@@ -289,9 +289,8 @@ endmodule
         let err = parse_netlist("module m\ninput a\ngate not a a\nendmodule\n").unwrap_err();
         assert!(err.message.contains("cannot be driven"));
 
-        let err =
-            parse_netlist("module m\ninput a b\ngate and z a b\ngate or z a b\nendmodule\n")
-                .unwrap_err();
+        let err = parse_netlist("module m\ninput a b\ngate and z a b\ngate or z a b\nendmodule\n")
+            .unwrap_err();
         assert!(err.message.contains("already has a driver"));
     }
 

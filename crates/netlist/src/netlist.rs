@@ -312,8 +312,8 @@ impl Netlist {
         for (_, out) in &self.outputs {
             used[out.index()] = true;
         }
-        for id in 0..self.net_count() {
-            if used[id] && !self.is_input[id] && self.driver[id].is_none() {
+        for (id, &is_used) in used.iter().enumerate() {
+            if is_used && !self.is_input[id] && self.driver[id].is_none() {
                 return Err(NetlistError::UndrivenNet(NetId(id as u32)));
             }
         }

@@ -2,11 +2,20 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// A signed arbitrary-precision integer.
+/// A signed arbitrary-precision integer with an inline small-value fast path.
 ///
-/// The representation is sign-magnitude with base-2^64 limbs stored least
-/// significant first. Zero is represented by an empty limb vector and a
-/// non-negative sign, so every value has exactly one representation.
+/// The representation is a tagged union: values that fit an `i64` are stored
+/// inline ([`Repr::Small`], no heap allocation), everything else spills to a
+/// sign-magnitude base-2^64 limb vector ([`Repr::Big`], least significant limb
+/// first, no trailing zeros). The representation is **canonical**: a value is
+/// `Big` if and only if it does not fit an `i64`, so structural equality and
+/// hashing are well defined.
+///
+/// During Gröbner basis reduction coefficients are overwhelmingly small
+/// (gate-polynomial tails have coefficients in `{-2, -1, 1, 2}` and products
+/// grow slowly), so the small×small specializations of `+`, `-`, `*` — plain
+/// checked 64-bit machine arithmetic — carry almost the entire workload
+/// without touching the allocator.
 ///
 /// Only the operations required by the verifier are provided; this is not a
 /// general purpose bignum library. All operations are exact.
@@ -21,11 +30,28 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(&a + &b, -(&a + &a));   // a - 3a = -2a
 /// assert!(b.is_negative());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Inline value, used whenever the value fits an `i64`.
+    Small(i64),
+    /// Spilled sign-magnitude value; `|value| > i64::MAX` for positive
+    /// values, `|value| > 2^63` for negative ones.
+    Big { negative: bool, limbs: Vec<u64> },
+}
+
+/// See the type-level documentation; constructed via `From`, [`Int::zero`],
+/// [`Int::one`] or [`Int::pow2`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Int {
-    negative: bool,
-    /// Base-2^64 magnitude, least significant limb first, no trailing zeros.
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int {
+            repr: Repr::Small(0),
+        }
+    }
 }
 
 impl Int {
@@ -36,146 +62,253 @@ impl Int {
 
     /// The value one.
     pub fn one() -> Self {
-        Int::from(1)
+        Int {
+            repr: Repr::Small(1),
+        }
     }
 
     /// `2^k`.
     pub fn pow2(k: u32) -> Self {
+        if k <= 62 {
+            return Int {
+                repr: Repr::Small(1i64 << k),
+            };
+        }
         let limb = (k / 64) as usize;
         let bit = k % 64;
         let mut limbs = vec![0u64; limb + 1];
         limbs[limb] = 1u64 << bit;
         Int {
-            negative: false,
-            limbs,
+            repr: Repr::Big {
+                negative: false,
+                limbs,
+            },
+        }
+    }
+
+    /// Builds the canonical representation from a sign and magnitude limbs
+    /// (possibly with trailing zeros), collapsing to the inline form when the
+    /// value fits an `i64`.
+    fn from_sign_limbs(negative: bool, mut limbs: Vec<u64>) -> Int {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        match limbs.len() {
+            0 => Int::zero(),
+            1 => {
+                let mag = limbs[0];
+                if !negative && mag <= i64::MAX as u64 {
+                    Int {
+                        repr: Repr::Small(mag as i64),
+                    }
+                } else if negative && mag <= 1u64 << 63 {
+                    Int {
+                        repr: Repr::Small((mag as i128).wrapping_neg() as i64),
+                    }
+                } else {
+                    Int {
+                        repr: Repr::Big { negative, limbs },
+                    }
+                }
+            }
+            _ => Int {
+                repr: Repr::Big { negative, limbs },
+            },
+        }
+    }
+
+    /// Runs `f` over the sign and magnitude limbs of the value, without
+    /// materializing a limb vector for inline values.
+    #[inline]
+    fn with_parts<R>(&self, f: impl FnOnce(bool, &[u64]) -> R) -> R {
+        match &self.repr {
+            Repr::Small(0) => f(false, &[]),
+            Repr::Small(v) => f(*v < 0, &[v.unsigned_abs()]),
+            Repr::Big { negative, limbs } => f(*negative, limbs),
+        }
+    }
+
+    /// The inline value, if the integer fits an `i64`. Because the
+    /// representation is canonical this is `Some` exactly for in-range
+    /// values.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.repr {
+            Repr::Small(v) => Some(v),
+            Repr::Big { .. } => None,
         }
     }
 
     /// Returns `true` if the value is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` if the value is strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.negative
+        match &self.repr {
+            Repr::Small(v) => *v < 0,
+            Repr::Big { negative, .. } => *negative,
+        }
     }
 
     /// Returns `true` if the value is one.
+    #[inline]
     pub fn is_one(&self) -> bool {
-        !self.negative && self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Returns `true` if the value is divisible by `2^k` (zero counts as
     /// divisible). This implements the `mod 2^(2n)` reduction of the
     /// multiplier specification: terms whose coefficient is a multiple of
     /// `2^(2n)` are dropped.
+    #[inline]
     pub fn is_multiple_of_pow2(&self, k: u32) -> bool {
-        if self.is_zero() {
-            return true;
-        }
-        let whole = (k / 64) as usize;
-        let rest = k % 64;
-        if self.limbs.len() < whole + usize::from(rest > 0) {
-            // Fewer significant bits than k and non-zero -> not divisible,
-            // unless all low limbs are zero and rest == 0 handled below.
-            if self.limbs.len() <= whole {
-                // |x| < 2^(64*whole) <= 2^k, and x != 0.
-                return false;
+        match &self.repr {
+            Repr::Small(0) => true,
+            Repr::Small(v) => v.unsigned_abs().trailing_zeros() >= k,
+            Repr::Big { limbs, .. } => {
+                // The magnitude is non-zero and normalized, so if every limb
+                // below bit k is zero (and the partial limb has no bits below
+                // k % 64) there must be a set bit at position >= k.
+                let whole = (k / 64) as usize;
+                let rest = k % 64;
+                if limbs.iter().take(whole).any(|&limb| limb != 0) {
+                    return false;
+                }
+                if rest > 0 {
+                    let limb = limbs.get(whole).copied().unwrap_or(0);
+                    if limb & ((1u64 << rest) - 1) != 0 {
+                        return false;
+                    }
+                }
+                true
             }
         }
-        for i in 0..whole.min(self.limbs.len()) {
-            if self.limbs[i] != 0 {
-                return false;
-            }
-        }
-        if rest > 0 {
-            let limb = self.limbs.get(whole).copied().unwrap_or(0);
-            if limb & ((1u64 << rest) - 1) != 0 {
-                return false;
-            }
-        }
-        true
     }
 
     /// Reduces the value modulo `2^k` into the canonical range `[0, 2^k)`.
     pub fn mod_pow2(&self, k: u32) -> Int {
-        if self.is_zero() {
-            return Int::zero();
+        if let Repr::Small(v) = self.repr {
+            if v == 0 {
+                return Int::zero();
+            }
+            if v > 0 {
+                // v < 2^63, so for k >= 63 the value is already reduced.
+                return if k >= 63 {
+                    self.clone()
+                } else {
+                    Int::from(v & ((1i64 << k) - 1))
+                };
+            }
+            // Negative: (-m) mod 2^k = 2^k - (m mod 2^k) unless that is 2^k.
+            let mag = v.unsigned_abs();
+            let m = if k >= 64 {
+                mag
+            } else {
+                mag & ((1u64 << k) - 1)
+            };
+            if m == 0 {
+                return Int::zero();
+            }
+            return if k <= 63 {
+                Int::from(((1u128 << k) - m as u128) as i64)
+            } else {
+                &Int::pow2(k) - &Int::from(m)
+            };
         }
-        // magnitude mod 2^k
-        let whole = (k / 64) as usize;
-        let rest = k % 64;
-        let mut limbs: Vec<u64> = self.limbs.iter().copied().take(whole + 1).collect();
-        while limbs.len() < whole + 1 {
-            limbs.push(0);
-        }
-        if rest == 0 {
-            limbs.truncate(whole);
-        } else {
-            limbs.truncate(whole + 1);
-            limbs[whole] &= (1u64 << rest) - 1;
-        }
-        let mag = Int {
-            negative: false,
-            limbs,
-        }
-        .normalized();
-        if !self.negative || mag.is_zero() {
-            mag
-        } else {
-            // (-m) mod 2^k = 2^k - (m mod 2^k)
-            &Int::pow2(k) - &mag
-        }
+        // Spilled path: truncate the magnitude to k bits, then complement for
+        // negative values.
+        self.with_parts(|negative, limbs| {
+            let whole = (k / 64) as usize;
+            let rest = k % 64;
+            let mut kept: Vec<u64> = limbs.iter().copied().take(whole + 1).collect();
+            while kept.len() < whole + 1 {
+                kept.push(0);
+            }
+            if rest == 0 {
+                kept.truncate(whole);
+            } else {
+                kept.truncate(whole + 1);
+                kept[whole] &= (1u64 << rest) - 1;
+            }
+            let mag = Int::from_sign_limbs(false, kept);
+            if !negative || mag.is_zero() {
+                mag
+            } else {
+                &Int::pow2(k) - &mag
+            }
+        })
     }
 
     /// The number of significant bits of the magnitude (0 for zero).
     pub fn bits(&self) -> u32 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => 64 - v.unsigned_abs().leading_zeros(),
+            Repr::Big { limbs, .. } => {
+                let top = *limbs.last().expect("Big is never empty");
+                (limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros())
+            }
         }
     }
 
     /// Converts to `i128` if the value fits.
     pub fn to_i128(&self) -> Option<i128> {
-        if self.limbs.len() > 2 {
-            return None;
-        }
-        let lo = self.limbs.first().copied().unwrap_or(0) as u128;
-        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
-        let mag = (hi << 64) | lo;
-        if self.negative {
-            if mag > (1u128 << 127) {
-                None
-            } else if mag == 1u128 << 127 {
-                Some(i128::MIN)
-            } else {
-                Some(-(mag as i128))
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big { negative, limbs } => {
+                if limbs.len() > 2 {
+                    return None;
+                }
+                let lo = limbs.first().copied().unwrap_or(0) as u128;
+                let hi = limbs.get(1).copied().unwrap_or(0) as u128;
+                let mag = (hi << 64) | lo;
+                if *negative {
+                    if mag > (1u128 << 127) {
+                        None
+                    } else if mag == 1u128 << 127 {
+                        Some(i128::MIN)
+                    } else {
+                        Some(-(mag as i128))
+                    }
+                } else if mag > i128::MAX as u128 {
+                    None
+                } else {
+                    Some(mag as i128)
+                }
             }
-        } else if mag > i128::MAX as u128 {
-            None
-        } else {
-            Some(mag as i128)
         }
     }
 
     /// The absolute value.
     pub fn abs(&self) -> Int {
-        Int {
-            negative: false,
-            limbs: self.limbs.clone(),
+        match &self.repr {
+            Repr::Small(v) => {
+                if let Some(a) = v.checked_abs() {
+                    Int {
+                        repr: Repr::Small(a),
+                    }
+                } else {
+                    // |i64::MIN| = 2^63 does not fit an i64.
+                    Int {
+                        repr: Repr::Big {
+                            negative: false,
+                            limbs: vec![1u64 << 63],
+                        },
+                    }
+                }
+            }
+            // A spilled magnitude never fits an i64, so it stays spilled.
+            Repr::Big { limbs, .. } => Int {
+                repr: Repr::Big {
+                    negative: false,
+                    limbs: limbs.clone(),
+                },
+            },
         }
-    }
-
-    fn normalized(mut self) -> Self {
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
-        }
-        if self.limbs.is_empty() {
-            self.negative = false;
-        }
-        self
     }
 
     fn cmp_mag(a: &[u64], b: &[u64]) -> Ordering {
@@ -211,8 +344,8 @@ impl Int {
     fn sub_mag(a: &[u64], b: &[u64]) -> Vec<u64> {
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..a.len() {
-            let x = a[i] as u128;
+        for (i, &limb) in a.iter().enumerate() {
+            let x = limb as u128;
             let y = b.get(i).copied().unwrap_or(0) as u128 + borrow as u128;
             if x >= y {
                 out.push((x - y) as u64);
@@ -249,52 +382,57 @@ impl Int {
     }
 
     fn add_signed(&self, other: &Int) -> Int {
-        if self.negative == other.negative {
-            Int {
-                negative: self.negative,
-                limbs: Int::add_mag(&self.limbs, &other.limbs),
-            }
-            .normalized()
-        } else {
-            match Int::cmp_mag(&self.limbs, &other.limbs) {
-                Ordering::Equal => Int::zero(),
-                Ordering::Greater => Int {
-                    negative: self.negative,
-                    limbs: Int::sub_mag(&self.limbs, &other.limbs),
-                }
-                .normalized(),
-                Ordering::Less => Int {
-                    negative: other.negative,
-                    limbs: Int::sub_mag(&other.limbs, &self.limbs),
-                }
-                .normalized(),
-            }
+        // The dominant case during reduction: both operands inline.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return match a.checked_add(*b) {
+                Some(sum) => Int {
+                    repr: Repr::Small(sum),
+                },
+                None => Int::from(*a as i128 + *b as i128),
+            };
         }
+        self.with_parts(|sa, la| {
+            other.with_parts(|sb, lb| {
+                if sa == sb {
+                    Int::from_sign_limbs(sa, Int::add_mag(la, lb))
+                } else {
+                    match Int::cmp_mag(la, lb) {
+                        Ordering::Equal => Int::zero(),
+                        Ordering::Greater => Int::from_sign_limbs(sa, Int::sub_mag(la, lb)),
+                        Ordering::Less => Int::from_sign_limbs(sb, Int::sub_mag(lb, la)),
+                    }
+                }
+            })
+        })
     }
 
     fn mul_signed(&self, other: &Int) -> Int {
-        Int {
-            negative: self.negative != other.negative,
-            limbs: Int::mul_mag(&self.limbs, &other.limbs),
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return match a.checked_mul(*b) {
+                Some(prod) => Int {
+                    repr: Repr::Small(prod),
+                },
+                // i64 × i64 always fits an i128.
+                None => Int::from(*a as i128 * *b as i128),
+            };
         }
-        .normalized()
+        self.with_parts(|sa, la| {
+            other.with_parts(|sb, lb| Int::from_sign_limbs(sa != sb, Int::mul_mag(la, lb)))
+        })
     }
 }
 
 impl From<i64> for Int {
+    #[inline]
     fn from(v: i64) -> Self {
-        if v == 0 {
-            Int::zero()
-        } else {
-            Int {
-                negative: v < 0,
-                limbs: vec![v.unsigned_abs()],
-            }
+        Int {
+            repr: Repr::Small(v),
         }
     }
 }
 
 impl From<i32> for Int {
+    #[inline]
     fn from(v: i32) -> Self {
         Int::from(v as i64)
     }
@@ -302,28 +440,27 @@ impl From<i32> for Int {
 
 impl From<i128> for Int {
     fn from(v: i128) -> Self {
-        if v == 0 {
-            return Int::zero();
+        if let Ok(small) = i64::try_from(v) {
+            return Int::from(small);
         }
         let mag = v.unsigned_abs();
         let lo = mag as u64;
         let hi = (mag >> 64) as u64;
         let limbs = if hi == 0 { vec![lo] } else { vec![lo, hi] };
-        Int {
-            negative: v < 0,
-            limbs,
-        }
+        Int::from_sign_limbs(v < 0, limbs)
     }
 }
 
 impl From<u64> for Int {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            Int::zero()
+        if v <= i64::MAX as u64 {
+            Int::from(v as i64)
         } else {
             Int {
-                negative: false,
-                limbs: vec![v],
+                repr: Repr::Big {
+                    negative: false,
+                    limbs: vec![v],
+                },
             }
         }
     }
@@ -337,25 +474,37 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.negative, other.negative) {
-            (false, true) => Ordering::Greater,
-            (true, false) => Ordering::Less,
-            (false, false) => Int::cmp_mag(&self.limbs, &other.limbs),
-            (true, true) => Int::cmp_mag(&other.limbs, &self.limbs),
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.cmp(b);
         }
+        self.with_parts(|sa, la| {
+            other.with_parts(|sb, lb| match (sa, sb) {
+                (false, true) => Ordering::Greater,
+                (true, false) => Ordering::Less,
+                (false, false) => Int::cmp_mag(la, lb),
+                (true, true) => Int::cmp_mag(lb, la),
+            })
+        })
     }
 }
 
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        if self.is_zero() {
-            Int::zero()
-        } else {
-            Int {
-                negative: !self.negative,
-                limbs: self.limbs.clone(),
-            }
+        match &self.repr {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => Int {
+                    repr: Repr::Small(n),
+                },
+                // -i64::MIN = 2^63 spills.
+                None => Int {
+                    repr: Repr::Big {
+                        negative: false,
+                        limbs: vec![1u64 << 63],
+                    },
+                },
+            },
+            Repr::Big { negative, limbs } => Int::from_sign_limbs(!negative, limbs.clone()),
         }
     }
 }
@@ -383,6 +532,13 @@ impl Add for Int {
 
 impl AddAssign<&Int> for Int {
     fn add_assign(&mut self, rhs: &Int) {
+        // In-place small += small without rebuilding the enum.
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(sum) = a.checked_add(*b) {
+                *a = sum;
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
@@ -390,6 +546,14 @@ impl AddAssign<&Int> for Int {
 impl Sub for &Int {
     type Output = Int;
     fn sub(self, rhs: &Int) -> Int {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_sub(*b) {
+                Some(diff) => Int {
+                    repr: Repr::Small(diff),
+                },
+                None => Int::from(*a as i128 - *b as i128),
+            };
+        }
         self.add_signed(&-rhs)
     }
 }
@@ -403,6 +567,12 @@ impl Sub for Int {
 
 impl SubAssign<&Int> for Int {
     fn sub_assign(&mut self, rhs: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(diff) = a.checked_sub(*b) {
+                *a = diff;
+                return;
+            }
+        }
         *self = &*self - rhs;
     }
 }
@@ -423,40 +593,48 @@ impl Mul for Int {
 
 impl MulAssign<&Int> for Int {
     fn mul_assign(&mut self, rhs: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&mut self.repr, &rhs.repr) {
+            if let Some(prod) = a.checked_mul(*b) {
+                *a = prod;
+                return;
+            }
+        }
         *self = &*self * rhs;
     }
 }
 
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.write_str("0");
-        }
-        // Repeated division by 10^19 (largest power of ten below 2^64).
-        const CHUNK: u64 = 10_000_000_000_000_000_000;
-        let mut limbs = self.limbs.clone();
-        let mut chunks: Vec<u64> = Vec::new();
-        while !limbs.is_empty() {
-            let mut rem: u128 = 0;
-            for limb in limbs.iter_mut().rev() {
-                let cur = (rem << 64) | *limb as u128;
-                *limb = (cur / CHUNK as u128) as u64;
-                rem = cur % CHUNK as u128;
+        match &self.repr {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Big { negative, limbs } => {
+                // Repeated division by 10^19 (largest power of ten below 2^64).
+                const CHUNK: u64 = 10_000_000_000_000_000_000;
+                let mut limbs = limbs.clone();
+                let mut chunks: Vec<u64> = Vec::new();
+                while !limbs.is_empty() {
+                    let mut rem: u128 = 0;
+                    for limb in limbs.iter_mut().rev() {
+                        let cur = (rem << 64) | *limb as u128;
+                        *limb = (cur / CHUNK as u128) as u64;
+                        rem = cur % CHUNK as u128;
+                    }
+                    while limbs.last() == Some(&0) {
+                        limbs.pop();
+                    }
+                    chunks.push(rem as u64);
+                }
+                let mut s = String::new();
+                if *negative {
+                    s.push('-');
+                }
+                s.push_str(&chunks.last().unwrap().to_string());
+                for chunk in chunks.iter().rev().skip(1) {
+                    s.push_str(&format!("{chunk:019}"));
+                }
+                f.write_str(&s)
             }
-            while limbs.last() == Some(&0) {
-                limbs.pop();
-            }
-            chunks.push(rem as u64);
         }
-        let mut s = String::new();
-        if self.negative {
-            s.push('-');
-        }
-        s.push_str(&chunks.last().unwrap().to_string());
-        for chunk in chunks.iter().rev().skip(1) {
-            s.push_str(&format!("{chunk:019}"));
-        }
-        f.write_str(&s)
     }
 }
 
@@ -475,6 +653,28 @@ mod tests {
         assert_eq!(Int::pow2(64).to_i128(), Some(1i128 << 64));
         assert_eq!(Int::pow2(126).to_i128(), Some(1i128 << 126));
         assert_eq!(Int::pow2(127).to_i128(), None, "2^127 overflows i128");
+    }
+
+    #[test]
+    fn representation_is_canonical_at_the_i64_boundary() {
+        // Everything in i64 range stays inline.
+        assert_eq!(Int::from(i64::MAX).as_i64(), Some(i64::MAX));
+        assert_eq!(Int::from(i64::MIN).as_i64(), Some(i64::MIN));
+        assert_eq!(Int::from(i64::MIN as i128).as_i64(), Some(i64::MIN));
+        assert_eq!(Int::pow2(62).as_i64(), Some(1i64 << 62));
+        // First values past the boundary spill...
+        assert_eq!(Int::from(i64::MAX as i128 + 1).as_i64(), None);
+        assert_eq!(Int::from(i64::MIN as i128 - 1).as_i64(), None);
+        assert_eq!(Int::pow2(63).as_i64(), None);
+        // ...and arithmetic that comes back in range collapses to inline
+        // again, so equality stays structural.
+        let back = &(&Int::pow2(64) + &Int::from(5)) - &Int::pow2(64);
+        assert_eq!(back.as_i64(), Some(5));
+        assert_eq!(back, Int::from(5));
+        let min = &(-&Int::pow2(63)) + &Int::zero();
+        assert_eq!(min.as_i64(), Some(i64::MIN));
+        assert_eq!(-&Int::from(i64::MIN), Int::pow2(63));
+        assert_eq!(Int::from(i64::MIN).abs(), Int::pow2(63));
     }
 
     #[test]
@@ -500,6 +700,34 @@ mod tests {
     }
 
     #[test]
+    fn is_multiple_of_pow2_limb_boundaries() {
+        // k exactly on limb boundaries for spilled values.
+        for k in [63, 64, 65, 127, 128, 129, 191, 192] {
+            assert!(Int::pow2(k).is_multiple_of_pow2(k), "2^{k} | 2^{k}");
+            assert!(Int::pow2(k).is_multiple_of_pow2(k - 1));
+            assert!(!Int::pow2(k - 1).is_multiple_of_pow2(k));
+        }
+        // Inline values against k past the i64 range.
+        assert!(!Int::from(1).is_multiple_of_pow2(64));
+        assert!(!Int::from(i64::MAX).is_multiple_of_pow2(64));
+        assert!(Int::from(i64::MIN).is_multiple_of_pow2(63));
+        assert!(!Int::from(i64::MIN).is_multiple_of_pow2(64));
+        // Negative values divide like their magnitudes.
+        assert!(Int::from(-8).is_multiple_of_pow2(3));
+        assert!(!Int::from(-8).is_multiple_of_pow2(4));
+        assert!((-&Int::pow2(128)).is_multiple_of_pow2(128));
+        assert!(!(-&Int::pow2(128)).is_multiple_of_pow2(129));
+        // A spilled value with a zero low limb but bits in the partial limb.
+        let x = &Int::pow2(70) + &Int::pow2(66);
+        assert!(x.is_multiple_of_pow2(64));
+        assert!(x.is_multiple_of_pow2(66));
+        assert!(!x.is_multiple_of_pow2(67));
+        // Zero divides every power of two, including k = 0.
+        assert!(Int::zero().is_multiple_of_pow2(0));
+        assert!(Int::from(7).is_multiple_of_pow2(0));
+    }
+
+    #[test]
     fn mod_pow2_matches_definition() {
         assert_eq!(Int::from(5).mod_pow2(2), Int::from(1));
         assert_eq!(Int::from(-5).mod_pow2(3), Int::from(3));
@@ -510,11 +738,28 @@ mod tests {
     }
 
     #[test]
+    fn mod_pow2_at_the_inline_boundary() {
+        // k >= 63 on positive inline values is the identity.
+        assert_eq!(Int::from(i64::MAX).mod_pow2(63), Int::from(i64::MAX));
+        assert_eq!(Int::from(i64::MAX).mod_pow2(200), Int::from(i64::MAX));
+        // Negative inline values with k past 64 spill: (-1) mod 2^64 = 2^64-1.
+        assert_eq!(Int::from(-1).mod_pow2(64), &Int::pow2(64) - &Int::one());
+        assert_eq!(Int::from(-1).mod_pow2(128), &Int::pow2(128) - &Int::one());
+        assert_eq!(Int::from(i64::MIN).mod_pow2(63), Int::zero());
+        assert_eq!(
+            Int::from(i64::MIN).mod_pow2(64),
+            Int::pow2(63),
+            "(-2^63) mod 2^64 = 2^63"
+        );
+    }
+
+    #[test]
     fn bits_counts_significant_bits() {
         assert_eq!(Int::zero().bits(), 0);
         assert_eq!(Int::one().bits(), 1);
         assert_eq!(Int::from(255).bits(), 8);
         assert_eq!(Int::pow2(200).bits(), 201);
+        assert_eq!(Int::from(i64::MIN).bits(), 64);
     }
 
     #[test]
@@ -526,6 +771,19 @@ mod tests {
         assert_eq!(&(&a * &b), &Int::pow2(331));
         assert_eq!((&a - &a), Int::zero());
         assert!((&b - &a).is_negative());
+    }
+
+    #[test]
+    fn assign_ops_cover_overflow() {
+        let mut x = Int::from(i64::MAX);
+        x += &Int::one();
+        assert_eq!(x.to_i128(), Some(i64::MAX as i128 + 1));
+        let mut y = Int::from(i64::MIN);
+        y -= &Int::one();
+        assert_eq!(y.to_i128(), Some(i64::MIN as i128 - 1));
+        let mut z = Int::from(1i64 << 62);
+        z *= &Int::from(4);
+        assert_eq!(z, Int::pow2(64));
     }
 
     fn to_int(v: i128) -> Int {
@@ -546,6 +804,16 @@ mod tests {
         #[test]
         fn mul_matches_i128(a in -(1i128<<60)..(1i128<<60), b in -(1i128<<60)..(1i128<<60)) {
             prop_assert_eq!((&to_int(a) * &to_int(b)).to_i128(), Some(a * b));
+        }
+
+        #[test]
+        fn assign_ops_match_i128(a in -(1i128<<90)..(1i128<<90), b in -(1i128<<90)..(1i128<<90)) {
+            let mut x = to_int(a);
+            x += &to_int(b);
+            prop_assert_eq!(x.to_i128(), Some(a + b));
+            let mut y = to_int(a);
+            y -= &to_int(b);
+            prop_assert_eq!(y.to_i128(), Some(a - b));
         }
 
         #[test]

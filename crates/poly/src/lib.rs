@@ -9,15 +9,36 @@
 //!
 //! The crate provides:
 //!
-//! * [`Int`] — a small hand-rolled signed arbitrary-precision integer
-//!   (sign + base-2^64 magnitude). Only the operations needed by the verifier
-//!   are implemented: add, sub, mul, powers of two, shifting, divisibility by
-//!   powers of two and comparison.
+//! * [`Int`] — a signed arbitrary-precision integer with an inline `i64`
+//!   fast path. The representation is canonical: values are stored inline
+//!   whenever they fit an `i64` and spill to sign-magnitude base-2^64 limbs
+//!   only beyond that, so the reduction inner loop does plain machine
+//!   arithmetic with no allocation.
 //! * [`Var`], [`Monomial`] — variables and multilinear power products.
-//! * [`Polynomial`] — a sparse sum of terms with [`Int`] coefficients,
-//!   with the substitution operation that implements the S-polynomial step
-//!   (division by a polynomial of the form `-v + tail`).
+//!   Monomials store up to [`INLINE_VARS`] variables inline (heap only for
+//!   rare high-degree monomials) and cache their hash at construction.
+//! * [`Polynomial`] — a sparse sum of terms with [`Int`] coefficients in an
+//!   [`FastMap`], with the substitution operation that implements the
+//!   S-polynomial step (division by a polynomial of the form `-v + tail`),
+//!   including a scratch-reusing [`Polynomial::substitute_into`] for hot
+//!   loops.
+//! * [`FastMap`] / [`FastSet`] — `ahash`-keyed hash containers used for every
+//!   hot map in the engine (term tables, keep-sets, model indices).
+//! * [`debug_timer!`] — opt-in wall-clock instrumentation for the
+//!   rewrite/reduction phases (enabled by setting `GBMV_TIMING`).
 //! * [`spec`] — specification polynomials for adders and (modular) multipliers.
+//!
+//! # Representation invariants
+//!
+//! * `Int` is inline iff the value fits an `i64` (spill threshold
+//!   `|v| > i64::MAX`, respectively `> 2^63` for negative values); limb
+//!   vectors are trailing-zero-free. Structural equality/hashing rely on
+//!   this.
+//! * `Monomial` variable lists are sorted and duplicate-free; the inline
+//!   capacity is [`INLINE_VARS`] and the cached hash always matches the
+//!   list. Monomials that shrink below the capacity collapse back to the
+//!   inline form.
+//! * `Polynomial` never stores zero coefficients.
 //!
 //! # Example
 //!
@@ -45,5 +66,39 @@ mod polynomial;
 pub mod spec;
 
 pub use int::Int;
-pub use monomial::{Monomial, Var};
+pub use monomial::{Monomial, Var, INLINE_VARS};
 pub use polynomial::Polynomial;
+
+/// A `HashMap` keyed by the fast `ahash` hasher; use for every map on a hot
+/// path (term tables, model indices).
+pub type FastMap<K, V> = std::collections::HashMap<K, V, ahash::RandomState>;
+
+/// A `HashSet` keyed by the fast `ahash` hasher; use for keep-sets and other
+/// hot-path sets.
+pub type FastSet<T> = std::collections::HashSet<T, ahash::RandomState>;
+
+/// Times an expression and reports it on stderr when the `GBMV_TIMING`
+/// environment variable is set; otherwise evaluates the expression with no
+/// timing overhead beyond one environment lookup.
+///
+/// ```
+/// let total = gbmv_poly::debug_timer!("sum", (0..100).sum::<u64>());
+/// assert_eq!(total, 4950);
+/// ```
+#[macro_export]
+macro_rules! debug_timer {
+    ($name:expr, $body:expr) => {{
+        if ::std::env::var_os("GBMV_TIMING").is_some() {
+            let __timer_start = ::std::time::Instant::now();
+            let __timer_result = $body;
+            eprintln!(
+                "[gbmv-timing] {}: {} us",
+                $name,
+                __timer_start.elapsed().as_micros()
+            );
+            __timer_result
+        } else {
+            $body
+        }
+    }};
+}

@@ -1,15 +1,20 @@
-use std::collections::{HashMap, HashSet};
+use std::collections::hash_map::Entry;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
 use crate::int::Int;
 use crate::monomial::{Monomial, Var};
+use crate::{FastMap, FastSet};
 
 /// A sparse multivariate polynomial with [`Int`] coefficients over multilinear
 /// (Boolean-domain) monomials.
 ///
 /// Zero coefficients are never stored, so the zero polynomial has no terms and
-/// two equal polynomials compare equal structurally.
+/// two equal polynomials compare equal structurally. Terms live in a
+/// [`FastMap`] keyed by the monomials' cached hashes; together with the
+/// small-int coefficient representation this keeps the reduction inner loop
+/// ([`Polynomial::add_term`] via [`Polynomial::add_scaled_shifted`]) free of
+/// heap allocation for the common case.
 ///
 /// # Example
 ///
@@ -31,13 +36,21 @@ use crate::monomial::{Monomial, Var};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Polynomial {
-    terms: HashMap<Monomial, Int>,
+    terms: FastMap<Monomial, Int>,
 }
 
 impl Polynomial {
     /// The zero polynomial.
     pub fn zero() -> Self {
         Polynomial::default()
+    }
+
+    /// A zero polynomial with room for `capacity` terms, for callers that
+    /// know the size of what they are about to build.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Polynomial {
+            terms: FastMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
     }
 
     /// The constant polynomial `c`.
@@ -57,8 +70,9 @@ impl Polynomial {
     /// Builds a polynomial from `(monomial, coefficient)` pairs, combining
     /// duplicates and dropping zero coefficients.
     pub fn from_terms(terms: impl IntoIterator<Item = (Monomial, Int)>) -> Self {
-        let mut p = Polynomial::zero();
-        for (m, c) in terms {
+        let iter = terms.into_iter();
+        let mut p = Polynomial::with_capacity(iter.size_hint().0);
+        for (m, c) in iter {
             p.add_term(m, c);
         }
         p
@@ -90,10 +104,15 @@ impl Polynomial {
         self.terms.iter()
     }
 
+    /// Removes all terms, keeping the allocated table for reuse.
+    pub fn clear(&mut self) {
+        self.terms.clear();
+    }
+
     /// The set of variables appearing in the polynomial (`Vars(p)` in the
     /// paper).
-    pub fn vars(&self) -> HashSet<Var> {
-        let mut set = HashSet::new();
+    pub fn vars(&self) -> FastSet<Var> {
+        let mut set = FastSet::default();
         for m in self.terms.keys() {
             set.extend(m.vars());
         }
@@ -105,22 +124,22 @@ impl Polynomial {
         self.terms.keys().any(|m| m.contains(v))
     }
 
-    /// Adds `coeff * monomial` to the polynomial in place.
+    /// Adds `coeff * monomial` to the polynomial in place. Takes both by
+    /// value: callers that own their term hand it over without cloning, and
+    /// the map insert reuses the monomial's cached hash.
     pub fn add_term(&mut self, monomial: Monomial, coeff: Int) {
         if coeff.is_zero() {
             return;
         }
-        use std::collections::hash_map::Entry;
         match self.terms.entry(monomial) {
             Entry::Vacant(e) => {
                 e.insert(coeff);
             }
             Entry::Occupied(mut e) => {
-                let sum = &*e.get() + &coeff;
+                let sum = e.get_mut();
+                *sum += &coeff;
                 if sum.is_zero() {
                     e.remove();
-                } else {
-                    *e.get_mut() = sum;
                 }
             }
         }
@@ -133,8 +152,15 @@ impl Polynomial {
         if scale.is_zero() {
             return;
         }
-        for (m, c) in other.iter() {
-            self.add_term(m.mul(monomial), c * scale);
+        self.terms.reserve(other.num_terms());
+        if scale.is_one() {
+            for (m, c) in other.iter() {
+                self.add_term(m.mul(monomial), c.clone());
+            }
+        } else {
+            for (m, c) in other.iter() {
+                self.add_term(m.mul(monomial), c * scale);
+            }
         }
     }
 
@@ -148,7 +174,7 @@ impl Polynomial {
             return;
         }
         for c in self.terms.values_mut() {
-            *c = &*c * factor;
+            *c *= factor;
         }
     }
 
@@ -161,15 +187,25 @@ impl Polynomial {
     /// `replacement = tail`.
     pub fn substitute(&self, v: Var, replacement: &Polynomial) -> Polynomial {
         let mut result = Polynomial::zero();
+        self.substitute_into(v, replacement, &mut result);
+        result
+    }
+
+    /// [`Polynomial::substitute`] writing into a caller-provided scratch
+    /// polynomial. The reduction and rewrite loops call this with a reused
+    /// scratch so the term table is allocated once per loop instead of once
+    /// per substitution step.
+    pub fn substitute_into(&self, v: Var, replacement: &Polynomial, out: &mut Polynomial) {
+        out.clear();
+        out.terms.reserve(self.num_terms());
         for (m, c) in self.iter() {
             if m.contains(v) {
                 let rest = m.without(v);
-                result.add_scaled_shifted(replacement, &rest, c);
+                out.add_scaled_shifted(replacement, &rest, c);
             } else {
-                result.add_term(m.clone(), c.clone());
+                out.add_term(m.clone(), c.clone());
             }
         }
-        result
     }
 
     /// Evaluates the polynomial over a Boolean assignment of the variables.
@@ -187,7 +223,7 @@ impl Polynomial {
     /// dropping terms that become zero. Used for the `mod 2^(2n)` multiplier
     /// specification.
     pub fn mod_coeffs_pow2(&self, k: u32) -> Polynomial {
-        let mut out = Polynomial::zero();
+        let mut out = Polynomial::with_capacity(self.num_terms());
         for (m, c) in self.iter() {
             out.add_term(m.clone(), c.mod_pow2(k));
         }
@@ -199,13 +235,22 @@ impl Polynomial {
     /// for the purpose of a zero test, but keeps the original coefficients of
     /// surviving terms.
     pub fn drop_multiples_of_pow2(&self, k: u32) -> Polynomial {
-        let mut out = Polynomial::zero();
+        let mut out = Polynomial::with_capacity(self.num_terms());
         for (m, c) in self.iter() {
             if !c.is_multiple_of_pow2(k) {
                 out.add_term(m.clone(), c.clone());
             }
         }
         out
+    }
+
+    /// In-place variant of [`Self::drop_multiples_of_pow2`]; returns the
+    /// number of removed terms. The reduction loop applies this after every
+    /// substitution when a modulus is configured.
+    pub fn retain_non_multiples_of_pow2(&mut self, k: u32) -> usize {
+        let before = self.terms.len();
+        self.terms.retain(|_, c| !c.is_multiple_of_pow2(k));
+        before - self.terms.len()
     }
 
     /// Retains only the terms for which `keep` returns `true`. Returns the
@@ -253,6 +298,7 @@ impl Add for &Polynomial {
     type Output = Polynomial;
     fn add(self, rhs: &Polynomial) -> Polynomial {
         let mut out = self.clone();
+        out.terms.reserve(rhs.num_terms());
         for (m, c) in rhs.iter() {
             out.add_term(m.clone(), c.clone());
         }
@@ -264,6 +310,7 @@ impl Sub for &Polynomial {
     type Output = Polynomial;
     fn sub(self, rhs: &Polynomial) -> Polynomial {
         let mut out = self.clone();
+        out.terms.reserve(rhs.num_terms());
         for (m, c) in rhs.iter() {
             out.add_term(m.clone(), -c);
         }
@@ -274,7 +321,7 @@ impl Sub for &Polynomial {
 impl Neg for &Polynomial {
     type Output = Polynomial;
     fn neg(self) -> Polynomial {
-        let mut out = Polynomial::zero();
+        let mut out = Polynomial::with_capacity(self.num_terms());
         for (m, c) in self.iter() {
             out.add_term(m.clone(), -c);
         }
@@ -380,6 +427,22 @@ mod tests {
     }
 
     #[test]
+    fn substitute_into_reuses_scratch() {
+        let a = Var(0);
+        let b = Var(1);
+        let z = Var(2);
+        let p = Polynomial::from_terms(vec![
+            (Monomial::var(z), Int::from(4)),
+            (Monomial::var(b), Int::from(7)),
+        ]);
+        // Pre-populate the scratch with junk; substitute_into must clear it.
+        let mut scratch = Polynomial::from_terms(vec![(Monomial::var(Var(9)), Int::from(3))]);
+        p.substitute_into(z, &and_tail(a, b), &mut scratch);
+        assert_eq!(scratch, p.substitute(z, &and_tail(a, b)));
+        assert!(scratch.coeff(&Monomial::var(Var(9))).is_zero());
+    }
+
+    #[test]
     fn eval_bool_full_adder_spec() {
         // -2c - s + a + b + cin evaluates to zero for a correct full adder
         // assignment: a=1,b=1,cin=0 -> s=0,c=1.
@@ -410,6 +473,11 @@ mod tests {
         let dropped = p.drop_multiples_of_pow2(8);
         assert_eq!(dropped.num_terms(), 1);
         assert!(dropped.coeff(&m).is_zero());
+        // In-place variant agrees and reports the removal count.
+        let mut q = p.clone();
+        let removed = q.retain_non_multiples_of_pow2(8);
+        assert_eq!(removed, 1);
+        assert_eq!(q, dropped);
     }
 
     #[test]
@@ -437,18 +505,12 @@ mod tests {
 
     /// Generates a random small polynomial for property tests.
     fn arb_poly() -> impl Strategy<Value = Polynomial> {
-        proptest::collection::vec(
-            (proptest::collection::vec(0u32..6, 0..4), -20i64..20),
-            0..8,
-        )
-        .prop_map(|terms| {
-            Polynomial::from_terms(terms.into_iter().map(|(vars, c)| {
-                (
-                    Monomial::from_vars(vars.into_iter().map(Var)),
-                    Int::from(c),
-                )
-            }))
-        })
+        proptest::collection::vec((proptest::collection::vec(0u32..6, 0..4), -20i64..20), 0..8)
+            .prop_map(|terms| {
+                Polynomial::from_terms(terms.into_iter().map(|(vars, c)| {
+                    (Monomial::from_vars(vars.into_iter().map(Var)), Int::from(c))
+                }))
+            })
     }
 
     fn eval(p: &Polynomial, bits: u32) -> Int {
@@ -487,6 +549,14 @@ mod tests {
             prop_assert_eq!(&p + &q, &q + &p);
             prop_assert_eq!(&(&p + &q) + &r, &p + &(&q + &r));
             prop_assert_eq!(&p * &q, &q * &p);
+        }
+
+        #[test]
+        fn substitute_into_matches_substitute(p in arb_poly(), r in arb_poly()) {
+            let v = Var(1);
+            let mut scratch = Polynomial::zero();
+            p.substitute_into(v, &r, &mut scratch);
+            prop_assert_eq!(scratch, p.substitute(v, &r));
         }
     }
 }

@@ -20,7 +20,7 @@ use crate::polynomial::Polynomial;
 
 /// Builds the weighted sum `sign * sum_i 2^i bits[i]` as a polynomial.
 pub fn weighted_sum(bits: &[Var], negative: bool) -> Polynomial {
-    let mut p = Polynomial::zero();
+    let mut p = Polynomial::with_capacity(bits.len());
     for (i, &v) in bits.iter().enumerate() {
         let mut c = Int::pow2(i as u32);
         if negative {
@@ -79,7 +79,15 @@ mod tests {
     }
 
     /// Evaluates a spec polynomial over concrete integer values of the words.
-    fn eval_words(p: &Polynomial, a_bits: &[Var], a: u64, b_bits: &[Var], b: u64, s_bits: &[Var], s: u64) -> Int {
+    fn eval_words(
+        p: &Polynomial,
+        a_bits: &[Var],
+        a: u64,
+        b_bits: &[Var],
+        b: u64,
+        s_bits: &[Var],
+        s: u64,
+    ) -> Int {
         p.eval_bool(&|v: Var| {
             if let Some(i) = a_bits.iter().position(|&x| x == v) {
                 (a >> i) & 1 == 1
@@ -145,10 +153,10 @@ mod tests {
         let spec = adder_spec(&a_bits, &b_bits, &s_bits, Some(cin));
         // 3 + 2 + 1 = 6
         let val = spec.eval_bool(&|v: Var| match v {
-            Var(0) | Var(1) => true,          // a = 3
-            Var(5) => true,                   // b = 2
-            Var(9) | Var(10) => true,         // s = 6
-            Var(15) => true,                  // cin = 1
+            Var(0) | Var(1) => true,  // a = 3
+            Var(5) => true,           // b = 2
+            Var(9) | Var(10) => true, // s = 6
+            Var(15) => true,          // cin = 1
             _ => false,
         });
         assert!(val.is_zero());
@@ -186,6 +194,9 @@ mod tests {
         spec.add_term(Monomial::var(Var(0)), Int::pow2(4));
         let reduced = spec.drop_multiples_of_pow2(4);
         // The added term disappears, the original spec terms survive.
-        assert_eq!(reduced.num_terms(), multiplier_spec(&a_bits, &b_bits, &s_bits).num_terms());
+        assert_eq!(
+            reduced.num_terms(),
+            multiplier_spec(&a_bits, &b_bits, &s_bits).num_terms()
+        );
     }
 }

@@ -177,11 +177,7 @@ struct NetVars {
 
 /// Encodes a netlist into an existing CNF, mapping its primary inputs onto
 /// `shared_inputs` so two circuits can share the same input variables.
-fn encode_into(
-    cnf: &mut Cnf,
-    netlist: &Netlist,
-    shared_inputs: &[crate::cnf::VarId],
-) -> NetVars {
+fn encode_into(cnf: &mut Cnf, netlist: &Netlist, shared_inputs: &[crate::cnf::VarId]) -> NetVars {
     use std::collections::HashMap;
     let mut map: HashMap<gbmv_netlist::NetId, crate::cnf::VarId> = HashMap::new();
     for (net, &var) in netlist.inputs().iter().zip(shared_inputs) {

@@ -518,7 +518,10 @@ mod tests {
                     check_model(&clause_refs, &model);
                 }
                 SolveResult::Unsat => {
-                    assert!(!brute_sat, "round {round}: solver UNSAT but brute force SAT");
+                    assert!(
+                        !brute_sat,
+                        "round {round}: solver UNSAT but brute force SAT"
+                    );
                 }
                 SolveResult::Unknown => panic!("no budget was set"),
             }

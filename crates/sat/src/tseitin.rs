@@ -59,7 +59,11 @@ pub fn encode_gate(cnf: &mut Cnf, kind: GateKind, out: VarId, ins: &[VarId]) {
             cnf.add_clause(vec![o, Lit::pos(ins[0])]);
         }
         GateKind::And | GateKind::Nand => {
-            let (t, nt) = if kind == GateKind::And { (o, no) } else { (no, o) };
+            let (t, nt) = if kind == GateKind::And {
+                (o, no)
+            } else {
+                (no, o)
+            };
             // t -> every input; (all inputs) -> t
             let mut long = vec![t];
             for &i in ins {
@@ -69,7 +73,11 @@ pub fn encode_gate(cnf: &mut Cnf, kind: GateKind, out: VarId, ins: &[VarId]) {
             cnf.add_clause(long);
         }
         GateKind::Or | GateKind::Nor => {
-            let (t, nt) = if kind == GateKind::Or { (o, no) } else { (no, o) };
+            let (t, nt) = if kind == GateKind::Or {
+                (o, no)
+            } else {
+                (no, o)
+            };
             // every input -> t; t -> some input
             let mut long = vec![nt];
             for &i in ins {
@@ -160,7 +168,8 @@ mod tests {
                     let result = Solver::new(cnf).solve(None);
                     let sat = matches!(result, SolveResult::Sat(_));
                     assert_eq!(
-                        sat, expected,
+                        sat,
+                        expected,
                         "{kind:?} a={av} b={bv} z={out_val} must be {}",
                         if expected { "SAT" } else { "UNSAT" }
                     );

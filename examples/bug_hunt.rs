@@ -14,7 +14,9 @@ use rand::SeedableRng;
 
 fn main() {
     let width = 4;
-    let golden = MultiplierSpec::parse("SP-WT-BK", width).expect("architecture").build();
+    let golden = MultiplierSpec::parse("SP-WT-BK", width)
+        .expect("architecture")
+        .build();
     let mut rng = StdRng::seed_from_u64(2024);
     let mut caught_algebraic = 0;
     let mut caught_sat = 0;
@@ -44,7 +46,10 @@ fn main() {
                         }
                     }
                     let product = mutant.evaluate_words(&[a, b], &[width, width]);
-                    println!("  counterexample: a={a} b={b} -> circuit says {product}, expected {}", a * b);
+                    println!(
+                        "  counterexample: a={a} b={b} -> circuit says {product}, expected {}",
+                        a * b
+                    );
                     assert_ne!(product, a * b);
                 }
             }

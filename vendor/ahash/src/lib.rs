@@ -1,0 +1,174 @@
+//! Offline stand-in for the `ahash` crate.
+//!
+//! Implements the aHash *fallback* algorithm shape — folded 128-bit
+//! multiplies over 64-bit lanes — with fixed keys. The build container cannot
+//! reach crates.io, and none of this workspace's hash maps are exposed to
+//! untrusted input, so deterministic keys (which also make benchmark runs
+//! reproducible) are the right trade-off instead of runtime key generation.
+//!
+//! The important property for the polynomial engine is speed on *short* keys:
+//! monomials hash as a single pre-computed `u64` (see `gbmv_poly`), and a
+//! folded multiply finalizer mixes that one word well enough for hashbrown's
+//! 7-bit control tags.
+
+#![forbid(unsafe_code)]
+
+use std::hash::{BuildHasher, Hasher};
+
+const MULTIPLE: u64 = 6364136223846793005;
+const KEY0: u64 = 0x243F_6A88_85A3_08D3; // pi digits
+const KEY1: u64 = 0x1319_8A2E_0370_7344;
+
+#[inline]
+fn folded_multiply(s: u64, by: u64) -> u64 {
+    let result = (s as u128).wrapping_mul(by as u128);
+    ((result & 0xFFFF_FFFF_FFFF_FFFF) as u64) ^ ((result >> 64) as u64)
+}
+
+/// The aHash-style hasher state.
+#[derive(Debug, Clone)]
+pub struct AHasher {
+    buffer: u64,
+    pad: u64,
+}
+
+impl Default for AHasher {
+    fn default() -> Self {
+        AHasher {
+            buffer: KEY0,
+            pad: KEY1,
+        }
+    }
+}
+
+impl AHasher {
+    #[inline]
+    fn update(&mut self, word: u64) {
+        self.buffer = folded_multiply(word ^ self.buffer, MULTIPLE);
+    }
+}
+
+impl Hasher for AHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let rot = (self.buffer & 63) as u32;
+        folded_multiply(self.buffer, self.pad).rotate_left(rot)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        self.buffer = self.buffer.wrapping_add(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.update(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.update(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.update(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.update(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.update(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.update(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.update(i as u64);
+        self.update((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.update(i as u64);
+    }
+}
+
+/// Fixed-key [`BuildHasher`] for `HashMap`/`HashSet`.
+#[derive(Debug, Clone, Default)]
+pub struct RandomState {
+    _private: (),
+}
+
+impl RandomState {
+    /// A new (fixed-key, deterministic) state.
+    pub fn new() -> Self {
+        RandomState::default()
+    }
+}
+
+impl BuildHasher for RandomState {
+    type Hasher = AHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> AHasher {
+        AHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn hash_of(write: impl Fn(&mut AHasher)) -> u64 {
+        let mut h = AHasher::default();
+        write(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(42)));
+        assert_ne!(hash_of(|h| h.write_u64(42)), hash_of(|h| h.write_u64(43)));
+        assert_ne!(hash_of(|h| h.write(b"ab")), hash_of(|h| h.write(b"ba")));
+        // Length is mixed in: a prefix must not collide with the whole.
+        assert_ne!(
+            hash_of(|h| h.write(b"abcdefgh")),
+            hash_of(|h| h.write(b"abcdefg"))
+        );
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: HashMap<u64, u64, RandomState> = HashMap::default();
+        for i in 0..1000 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&999], 1998);
+    }
+
+    #[test]
+    fn low_bits_spread() {
+        // hashbrown uses the top 7 bits for control tags and the low bits for
+        // bucket selection; make sure sequential keys don't collapse.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            buckets.insert(hash_of(|h| h.write_u64(i)) & 63);
+        }
+        assert!(
+            buckets.len() > 32,
+            "only {} distinct low-6-bit values",
+            buckets.len()
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-group API subset the workspace's benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`]) backed by a
+//! simple wall-clock harness: every benchmark runs one warm-up iteration and
+//! `sample_size` measured iterations, then reports min/mean/max.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{}: no samples collected", self.name, id.id);
+            return self;
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "  {}/{}: [{:?} {:?} {:?}] ({} samples)",
+            self.name,
+            id.id,
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the criterion API).
+    pub fn finish(self) {}
+}
+
+/// Measures closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over one warm-up plus `sample_size` measured runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &(), |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // One warm-up + three samples.
+        assert_eq!(runs, 4);
+    }
+}

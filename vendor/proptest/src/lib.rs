@@ -1,0 +1,456 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored shim provides
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter`,
+//! * strategies for integer ranges (exclusive and inclusive), tuples,
+//!   [`Just`], [`any`] and [`collection::vec`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Inputs are drawn from a deterministic SplitMix64 stream (seeded per test
+//! case index), so failures are reproducible. Unlike real proptest there is
+//! **no shrinking**: a failing case reports the assertion as-is.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+
+/// Deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 uniformly random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, span)` (`span > 0`; modulo bias is negligible
+    /// for test-sized spans).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        self.next_u128() % span
+    }
+}
+
+/// Runtime configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { base: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `true`; gives up (panics)
+    /// after 1000 consecutive rejections.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy {
+            base: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct FilterStrategy<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive inputs",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (see [`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct OneOf<S>(pub Vec<S>);
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one option");
+        let idx = rng.below(self.0.len() as u128) as usize;
+        self.0[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// i128 ranges cannot go through the i128 midpoint arithmetic above without
+// overflow, so they get a dedicated implementation (spans up to 2^127).
+impl Strategy for core::ops::Range<i128> {
+    type Value = i128;
+    fn sample(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(rng.below(span) as i128)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as i128
+    }
+}
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy of an [`Arbitrary`] type.
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — every value of `T` with uniform bits.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length bounds of a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min).max(1) as u128;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ..) {..}`
+/// runs `config.cases` times over deterministically drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::new(
+                    0x6a09_e667_f3bc_c909u64 ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies of the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => { $crate::OneOf(vec![$($s),+]) };
+}
+
+/// The usual proptest imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_in_bounds() {
+        let mut rng = super::TestRng::new(3);
+        for _ in 0..200 {
+            let v = (0u32..6).sample(&mut rng);
+            assert!(v < 6);
+            let w = (2..=4usize).sample(&mut rng);
+            assert!((2..=4).contains(&w));
+            let xs = collection::vec(0u32..10, 0..5).sample(&mut rng);
+            assert!(xs.len() < 5);
+            assert!(xs.iter().all(|&x| x < 10));
+            let big = (-(1i128 << 100)..(1i128 << 100)).sample(&mut rng);
+            assert!(big.abs() < (1i128 << 100) + 1);
+        }
+    }
+
+    #[test]
+    fn map_filter_oneof() {
+        let mut rng = super::TestRng::new(9);
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert_eq!(doubled.sample(&mut rng) % 2, 0);
+        }
+        let evens = (0u32..100).prop_filter("odd", |x| x % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(evens.sample(&mut rng) % 2, 0);
+        }
+        let choice = prop_oneof![Just(1u8), Just(2), Just(3)];
+        for _ in 0..50 {
+            assert!((1..=3).contains(&choice.sample(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(a in 0u32..10, b in any::<bool>()) {
+            prop_assert!(a < 10);
+            let _ = b;
+        }
+    }
+}
