@@ -14,7 +14,7 @@ fn bench_rewriting_schemes(c: &mut Criterion) {
     let netlist = MultiplierSpec::parse("SP-CT-BK", width)
         .expect("architecture")
         .build();
-    let base_model = AlgebraicModel::from_netlist(&netlist);
+    let base_model = AlgebraicModel::from_netlist(&netlist).unwrap();
     let mut group = c.benchmark_group("ablation_rewriting");
     group.sample_size(10);
     group.bench_with_input(BenchmarkId::new("scheme", "fanout"), &base_model, |b, m| {

@@ -1,16 +1,14 @@
 //! Criterion bench corresponding to Table I (simple partial products):
-//! MT-LR and MT-FO on representative SP architectures at width 8.
+//! MT-LR and MT-FO on representative SP architectures at width 8, through
+//! the `Session` API (extraction included, as in the paper's timings).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+use gbmv_bench::session_verify;
+use gbmv_core::Method;
 use gbmv_genmul::MultiplierSpec;
 
 fn bench_table1(c: &mut Criterion) {
     let width = 8;
-    let config = VerifyConfig {
-        extract_counterexample: false,
-        ..VerifyConfig::default()
-    };
     let mut group = c.benchmark_group("table1_simple_pp");
     group.sample_size(10);
     for arch in ["SP-AR-RC", "SP-WT-CL", "SP-CT-BK", "SP-DT-HC"] {
@@ -18,10 +16,7 @@ fn bench_table1(c: &mut Criterion) {
             .expect("architecture")
             .build();
         group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
-            b.iter(|| {
-                let report = verify_multiplier(nl, width, Method::MtLr, &config);
-                assert!(report.outcome.is_verified());
-            });
+            b.iter(|| session_verify(nl, width, Method::MtLr));
         });
     }
     // MT-FO only on the architecture it can handle (the paper's point: it
@@ -30,10 +25,7 @@ fn bench_table1(c: &mut Criterion) {
         .expect("architecture")
         .build();
     group.bench_with_input(BenchmarkId::new("MT-FO", "SP-AR-RC"), &netlist, |b, nl| {
-        b.iter(|| {
-            let report = verify_multiplier(nl, width, Method::MtFo, &config);
-            assert!(report.outcome.is_verified());
-        });
+        b.iter(|| session_verify(nl, width, Method::MtFo));
     });
     group.finish();
 }

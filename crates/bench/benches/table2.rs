@@ -1,16 +1,14 @@
 //! Criterion bench corresponding to Table II (Booth partial products):
-//! MT-LR on representative BP architectures at width 8.
+//! MT-LR on representative BP architectures at width 8, through the
+//! `Session` API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+use gbmv_bench::session_verify;
+use gbmv_core::Method;
 use gbmv_genmul::MultiplierSpec;
 
 fn bench_table2(c: &mut Criterion) {
     let width = 8;
-    let config = VerifyConfig {
-        extract_counterexample: false,
-        ..VerifyConfig::default()
-    };
     let mut group = c.benchmark_group("table2_booth_pp");
     group.sample_size(10);
     for arch in ["BP-AR-RC", "BP-WT-CL", "BP-CT-BK", "BP-DT-HC"] {
@@ -18,10 +16,7 @@ fn bench_table2(c: &mut Criterion) {
             .expect("architecture")
             .build();
         group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
-            b.iter(|| {
-                let report = verify_multiplier(nl, width, Method::MtLr, &config);
-                assert!(report.outcome.is_verified());
-            });
+            b.iter(|| session_verify(nl, width, Method::MtLr));
         });
     }
     group.finish();

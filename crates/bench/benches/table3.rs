@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbmv_core::{
     reduction::GbReduction,
     rewrite::{logic_reduction_rewriting, RewriteConfig},
-    AlgebraicModel, Verifier,
+    AlgebraicModel, Spec,
 };
 use gbmv_genmul::MultiplierSpec;
 
@@ -19,9 +19,11 @@ fn bench_table3(c: &mut Criterion) {
             .expect("architecture")
             .build();
         // Prepare the rewritten model once; the bench measures the reduction.
-        let verifier = Verifier::new(&netlist);
-        let spec = verifier.multiplier_spec(width);
-        let mut model = AlgebraicModel::from_netlist(&netlist);
+        let pristine = AlgebraicModel::from_netlist(&netlist).expect("acyclic");
+        let (spec, _modulus) = Spec::multiplier(width)
+            .instantiate(&pristine)
+            .expect("interface");
+        let mut model = pristine.clone();
         logic_reduction_rewriting(&mut model, &RewriteConfig::default());
         group.bench_with_input(
             BenchmarkId::new("gb_reduction_after_mtlr", arch),

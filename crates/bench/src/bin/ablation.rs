@@ -4,46 +4,50 @@
 //! For each architecture the run time of four configurations is reported:
 //! MT-FO (baseline), MT-XOR (XOR rewriting only, which the paper argues is
 //! inefficient on its own), MT-LR without the vanishing rules, and the full
-//! MT-LR.
+//! MT-LR — each a `Session` run with the strategy (or rule set) swapped.
 
-use std::time::Instant;
+use gbmv_bench::{build_architecture, format_duration, HarnessConfig};
+use gbmv_core::{Method, Outcome, Session, Spec, VanishingRules};
 
-use gbmv_bench::{format_duration, HarnessConfig};
-use gbmv_core::{verify_multiplier, Method, Outcome, VanishingRules, VerifyConfig};
-use gbmv_genmul::MultiplierSpec;
-
-fn run(arch: &str, width: usize, method: Method, config: &VerifyConfig) -> String {
-    let netlist = MultiplierSpec::parse(arch, width)
-        .expect("architecture")
-        .build();
-    let start = Instant::now();
-    let report = verify_multiplier(&netlist, width, method, config);
-    let elapsed = start.elapsed();
+fn run(
+    arch: &str,
+    width: usize,
+    method: Method,
+    rules: VanishingRules,
+    config: &HarnessConfig,
+) -> String {
+    let netlist = build_architecture(arch, width);
+    let report = Session::extract(&netlist)
+        .expect("generated netlists are acyclic")
+        .spec(Spec::multiplier(width))
+        .strategy(method)
+        .rules(rules)
+        .budget(config.budget())
+        .counterexamples(false)
+        .run()
+        .expect("generated netlists match the multiplier interface");
     match report.outcome {
-        Outcome::Verified => format_duration(elapsed),
-        Outcome::ResourceLimit { .. } => "TO".to_string(),
+        Outcome::Verified => format_duration(report.stats.total_time),
+        Outcome::ResourceLimit { .. } | Outcome::Cancelled => "TO".to_string(),
         Outcome::Mismatch { .. } => "FAIL".to_string(),
     }
 }
 
 fn main() {
-    let harness = HarnessConfig::from_env();
-    let base = harness.verify_config();
-    let no_rules = VerifyConfig {
-        rules: VanishingRules::none(),
-        ..base.clone()
-    };
+    let config = HarnessConfig::from_env();
+    let rules = VanishingRules::default();
+    let no_rules = VanishingRules::none();
     println!("Ablation: rewriting schemes and vanishing rules");
     println!(
         "{:<12} {:>5} {:>14} {:>14} {:>16} {:>14}",
         "Benchmark", "width", "MT-FO", "MT-XOR", "MT-LR(no rule)", "MT-LR"
     );
-    for &width in &harness.widths {
+    for &width in &config.widths {
         for arch in ["SP-CT-BK", "BP-WT-CL", "SP-AR-RC"] {
-            let fo = run(arch, width, Method::MtFo, &base);
-            let xor_only = run(arch, width, Method::MtXorOnly, &base);
-            let lr_no_rule = run(arch, width, Method::MtLr, &no_rules);
-            let lr = run(arch, width, Method::MtLr, &base);
+            let fo = run(arch, width, Method::MtFo, rules, &config);
+            let xor_only = run(arch, width, Method::MtXorOnly, rules, &config);
+            let lr_no_rule = run(arch, width, Method::MtLr, no_rules, &config);
+            let lr = run(arch, width, Method::MtLr, rules, &config);
             println!(
                 "{:<12} {:>5} {:>14} {:>14} {:>16} {:>14}",
                 arch, width, fo, xor_only, lr_no_rule, lr

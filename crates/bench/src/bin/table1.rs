@@ -1,6 +1,7 @@
 //! Regenerates Table I of the paper: verification run-times for multipliers
 //! with **simple partial products** across the SAT-miter baseline (the
-//! commercial-CEC substitute), MT-FO and MT-LR.
+//! commercial-CEC substitute), MT-FO and MT-LR — one `Portfolio` per
+//! instance, so all three strategies share one extracted model.
 //!
 //! Configure with `GBMV_WIDTHS`, `GBMV_TIMEOUT_SECS`, `GBMV_MAX_TERMS`,
 //! `GBMV_CEC_CONFLICTS` (see the crate docs of `gbmv-bench`). Set
@@ -8,10 +9,9 @@
 //! `BENCH_table1.json` used to track the repo's perf trajectory.
 
 use gbmv_bench::{
-    bench_json_path, print_comparison_header, print_comparison_row, run_algebraic, run_cec,
-    table1_architectures, write_bench_json, BenchRecord, HarnessConfig,
+    bench_json_path, emit_comparison_row, print_comparison_header, table1_architectures,
+    write_bench_json, HarnessConfig,
 };
-use gbmv_core::Method;
 
 fn main() {
     let config = HarnessConfig::from_env();
@@ -19,25 +19,7 @@ fn main() {
     print_comparison_header("Table I: verification results for simple partial product multipliers");
     for &width in &config.widths {
         for arch in table1_architectures() {
-            let cec = run_cec(arch, width, &config);
-            let (fo, fo_report) = run_algebraic(arch, width, Method::MtFo, &config);
-            let (lr, lr_report) = run_algebraic(arch, width, Method::MtLr, &config);
-            print_comparison_row(arch, width, &cec, &fo, &lr);
-            records.push(BenchRecord::from_cec(arch, width, &cec));
-            records.push(BenchRecord::from_algebraic(
-                arch,
-                width,
-                Method::MtFo,
-                &fo,
-                &fo_report,
-            ));
-            records.push(BenchRecord::from_algebraic(
-                arch,
-                width,
-                Method::MtLr,
-                &lr,
-                &lr_report,
-            ));
+            emit_comparison_row(arch, width, &config, &mut records);
         }
     }
     if let Some(path) = bench_json_path("table1") {

@@ -1,16 +1,16 @@
 //! Regenerates Table II of the paper: verification run-times for multipliers
 //! with **Booth partial products**. The CPP column of the paper is not
 //! applicable to Booth multipliers (marked "-" there) and is not reproduced.
+//! Each row is one `Portfolio` run sharing a single extracted model.
 //!
 //! Configure with the `GBMV_*` environment variables (see `gbmv-bench`). Set
 //! `GBMV_BENCH_JSON` to additionally write the machine-readable
 //! `BENCH_table2.json` used to track the repo's perf trajectory.
 
 use gbmv_bench::{
-    bench_json_path, print_comparison_header, print_comparison_row, run_algebraic, run_cec,
-    table2_architectures, write_bench_json, BenchRecord, HarnessConfig,
+    bench_json_path, emit_comparison_row, print_comparison_header, table2_architectures,
+    write_bench_json, HarnessConfig,
 };
-use gbmv_core::Method;
 
 fn main() {
     let config = HarnessConfig::from_env();
@@ -18,25 +18,7 @@ fn main() {
     print_comparison_header("Table II: verification results for Booth partial product multipliers");
     for &width in &config.widths {
         for arch in table2_architectures() {
-            let cec = run_cec(arch, width, &config);
-            let (fo, fo_report) = run_algebraic(arch, width, Method::MtFo, &config);
-            let (lr, lr_report) = run_algebraic(arch, width, Method::MtLr, &config);
-            print_comparison_row(arch, width, &cec, &fo, &lr);
-            records.push(BenchRecord::from_cec(arch, width, &cec));
-            records.push(BenchRecord::from_algebraic(
-                arch,
-                width,
-                Method::MtFo,
-                &fo,
-                &fo_report,
-            ));
-            records.push(BenchRecord::from_algebraic(
-                arch,
-                width,
-                Method::MtLr,
-                &lr,
-                &lr_report,
-            ));
+            emit_comparison_row(arch, width, &config, &mut records);
         }
     }
     if let Some(path) = bench_json_path("table2") {

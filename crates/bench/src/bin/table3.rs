@@ -23,7 +23,7 @@ fn main() {
                 arch,
                 width,
                 2 * width,
-                stats.rewrite.cancelled_vanishing,
+                stats.cancelled_vanishing(),
                 format_duration(stats.reduction.elapsed),
                 stats.model_polynomials,
                 stats.model_monomials,

@@ -2,7 +2,10 @@
 //!
 //! The binaries `table1`, `table2`, `table3` and `ablation` print the rows of
 //! the corresponding tables of the paper; the Criterion benches measure the
-//! same workloads at small widths so `cargo bench` finishes in minutes.
+//! same workloads at small widths so `cargo bench` finishes in minutes. The
+//! table binaries drive one [`Portfolio`] per benchmark instance: the SAT
+//! miter baseline and the algebraic methods run against a single extracted
+//! model.
 //!
 //! Run-time configuration is taken from environment variables so the same
 //! binaries scale from a smoke test to the full experiment:
@@ -15,11 +18,12 @@
 
 use std::io::Write;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use gbmv_core::{verify_multiplier, Method, Outcome, Report, VerifyConfig};
+use gbmv_core::{
+    Budget, Method, Outcome, Portfolio, PortfolioReport, Report, Session, Spec, StrategyRun,
+};
 use gbmv_genmul::MultiplierSpec;
-use gbmv_sat::{check_against_product, EquivalenceResult};
 
 /// Run-time configuration of the table binaries.
 #[derive(Debug, Clone)]
@@ -77,16 +81,24 @@ impl HarnessConfig {
         config
     }
 
-    /// The verification configuration corresponding to this harness
-    /// configuration.
-    pub fn verify_config(&self) -> VerifyConfig {
-        VerifyConfig {
+    /// The per-run resource budget this configuration stands for.
+    pub fn budget(&self) -> Budget {
+        Budget {
             max_terms: self.max_terms,
-            timeout: self.timeout,
-            extract_counterexample: false,
-            ..VerifyConfig::default()
+            deadline: Some(self.timeout),
         }
     }
+}
+
+/// Builds the netlist of a named architecture at a given width.
+///
+/// # Panics
+///
+/// Panics on unknown architecture names.
+pub fn build_architecture(arch: &str, width: usize) -> gbmv_netlist::Netlist {
+    MultiplierSpec::parse(arch, width)
+        .unwrap_or_else(|| panic!("unknown architecture {arch}"))
+        .build()
 }
 
 /// One measured cell of a table: the wall-clock time and how the run ended.
@@ -94,17 +106,34 @@ impl HarnessConfig {
 pub struct Cell {
     /// Elapsed wall-clock time.
     pub elapsed: Duration,
-    /// `"ok"`, `"TO"` (resource limit) or `"FAIL"` (unexpected mismatch).
+    /// `"ok"`, `"TO"` (resource limit / cancelled) or `"FAIL"` (unexpected
+    /// mismatch).
     pub status: &'static str,
 }
 
 impl Cell {
+    /// Builds a cell from one portfolio strategy run.
+    pub fn from_run(run: &StrategyRun) -> Cell {
+        Cell {
+            elapsed: run.elapsed,
+            status: status_of(&run.outcome),
+        }
+    }
+
     /// Formats the cell like the paper's `h:mm:ss` column, or `TO`.
     pub fn display(&self) -> String {
         match self.status {
             "ok" => format_duration(self.elapsed),
             other => other.to_string(),
         }
+    }
+}
+
+fn status_of(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Verified => "ok",
+        Outcome::ResourceLimit { .. } | Outcome::Cancelled => "TO",
+        Outcome::Mismatch { .. } => "FAIL",
     }
 }
 
@@ -118,42 +147,65 @@ pub fn format_duration(d: Duration) -> String {
     format!("{hours}:{minutes:02}:{seconds:02}.{millis:03}")
 }
 
-/// Runs one algebraic verification instance and reports the cell plus the
-/// full report (for Table III statistics).
+/// Verifies `netlist` as a `width`-bit multiplier with `method` under the
+/// default budget, panicking on anything but [`Outcome::Verified`] — the
+/// shared measurement kernel of the Criterion benches.
+pub fn session_verify(netlist: &gbmv_netlist::Netlist, width: usize, method: Method) {
+    let report = Session::extract(netlist)
+        .expect("generated netlists are acyclic")
+        .spec(Spec::multiplier(width))
+        .strategy(method)
+        .counterexamples(false)
+        .run()
+        .expect("generated netlists match the multiplier interface");
+    assert!(report.outcome.is_verified(), "{:?}", report.outcome);
+}
+
+/// Runs one algebraic verification instance through a [`Session`] and
+/// reports the cell plus the full report (for Table III statistics).
 pub fn run_algebraic(
     arch: &str,
     width: usize,
     method: Method,
     config: &HarnessConfig,
 ) -> (Cell, Report) {
-    let spec =
-        MultiplierSpec::parse(arch, width).unwrap_or_else(|| panic!("unknown architecture {arch}"));
-    let netlist = spec.build();
-    let start = Instant::now();
-    let report = verify_multiplier(&netlist, width, method, &config.verify_config());
-    let elapsed = start.elapsed();
-    let status = match report.outcome {
-        Outcome::Verified => "ok",
-        Outcome::ResourceLimit { .. } => "TO",
-        Outcome::Mismatch { .. } => "FAIL",
+    let netlist = build_architecture(arch, width);
+    // Time the whole pipeline including Step-1 model extraction, matching
+    // the paper's timings and the pre-redesign measurement window.
+    let start = std::time::Instant::now();
+    let report = Session::extract(&netlist)
+        .expect("generated netlists are acyclic")
+        .spec(Spec::multiplier(width))
+        .strategy(method)
+        .budget(config.budget())
+        .counterexamples(false)
+        .run()
+        .expect("generated netlists match the multiplier interface");
+    let cell = Cell {
+        elapsed: start.elapsed(),
+        status: status_of(&report.outcome),
     };
-    (Cell { elapsed, status }, report)
+    (cell, report)
 }
 
-/// Runs the SAT miter baseline (the "Commercial"/ABC `cec` substitute).
-pub fn run_cec(arch: &str, width: usize, config: &HarnessConfig) -> Cell {
-    let spec =
-        MultiplierSpec::parse(arch, width).unwrap_or_else(|| panic!("unknown architecture {arch}"));
-    let netlist = spec.build();
-    let start = Instant::now();
-    let result = check_against_product(&netlist, width, Some(config.cec_conflicts));
-    let elapsed = start.elapsed();
-    let status = match result {
-        EquivalenceResult::Equivalent => "ok",
-        EquivalenceResult::Unknown => "TO",
-        EquivalenceResult::NotEquivalent(_) => "FAIL",
-    };
-    Cell { elapsed, status }
+/// Runs the comparison portfolio of the paper's Table I/II rows — the SAT
+/// miter baseline (`CEC`), MT-FO and MT-LR — against one extracted model.
+///
+/// Per-strategy elapsed times exclude the (shared, amortized) Step-1 model
+/// extraction; counterexample search is disabled so a `FAIL` cell stays
+/// cheap.
+pub fn table_portfolio(arch: &str, width: usize, config: &HarnessConfig) -> PortfolioReport {
+    let netlist = build_architecture(arch, width);
+    Portfolio::extract(&netlist)
+        .expect("generated netlists are acyclic")
+        .spec(Spec::multiplier(width))
+        .budget(config.budget())
+        .counterexamples(false)
+        .sat_baseline(Some(config.cec_conflicts))
+        .method(Method::MtFo)
+        .method(Method::MtLr)
+        .run_all()
+        .expect("generated netlists match the multiplier interface")
 }
 
 /// One machine-readable benchmark measurement, serialized into the
@@ -164,56 +216,47 @@ pub struct BenchRecord {
     pub arch: String,
     /// Operand width in bits.
     pub width: usize,
-    /// Method name (`MT-FO`, `MT-LR`, `CEC`).
-    pub method: String,
+    /// Strategy name (`MT-FO`, `MT-LR`, `CEC`).
+    pub strategy: String,
     /// Wall-clock time in milliseconds.
     pub elapsed_ms: u128,
     /// Peak intermediate polynomial size over rewriting and reduction
     /// (0 for the SAT baseline).
     pub peak_terms: usize,
+    /// The term budget the run was given.
+    pub max_terms: usize,
+    /// The wall-clock budget the run was given, in milliseconds.
+    pub timeout_ms: u128,
     /// `"ok"`, `"TO"` or `"FAIL"`.
     pub status: String,
 }
 
 impl BenchRecord {
-    /// Builds a record from an algebraic verification cell and report.
-    pub fn from_algebraic(
-        arch: &str,
-        width: usize,
-        method: Method,
-        cell: &Cell,
-        report: &Report,
-    ) -> Self {
+    /// Builds a record from one portfolio strategy run.
+    pub fn from_run(arch: &str, width: usize, run: &StrategyRun, config: &HarnessConfig) -> Self {
         BenchRecord {
             arch: arch.to_string(),
             width,
-            method: method.name().to_string(),
-            elapsed_ms: cell.elapsed.as_millis(),
-            peak_terms: report
-                .stats
-                .rewrite
-                .peak_terms
-                .max(report.stats.reduction.peak_terms),
-            status: cell.status.to_string(),
-        }
-    }
-
-    /// Builds a record from a SAT-baseline cell.
-    pub fn from_cec(arch: &str, width: usize, cell: &Cell) -> Self {
-        BenchRecord {
-            arch: arch.to_string(),
-            width,
-            method: "CEC".to_string(),
-            elapsed_ms: cell.elapsed.as_millis(),
-            peak_terms: 0,
-            status: cell.status.to_string(),
+            strategy: run.strategy.clone(),
+            elapsed_ms: run.elapsed.as_millis(),
+            peak_terms: run.stats.as_ref().map_or(0, |s| s.peak_terms()),
+            max_terms: config.max_terms,
+            timeout_ms: config.timeout.as_millis(),
+            status: status_of(&run.outcome).to_string(),
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"arch\": \"{}\", \"width\": {}, \"method\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"status\": \"{}\"}}",
-            self.arch, self.width, self.method, self.elapsed_ms, self.peak_terms, self.status
+            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"status\": \"{}\"}}",
+            self.arch,
+            self.width,
+            self.strategy,
+            self.elapsed_ms,
+            self.peak_terms,
+            self.max_terms,
+            self.timeout_ms,
+            self.status
         )
     }
 }
@@ -281,6 +324,22 @@ pub fn print_comparison_row(arch: &str, width: usize, cec: &Cell, fo: &Cell, lr:
     );
 }
 
+/// Runs one comparison-table row through [`table_portfolio`], prints it, and
+/// appends the strategy records to `records`.
+pub fn emit_comparison_row(
+    arch: &str,
+    width: usize,
+    config: &HarnessConfig,
+    records: &mut Vec<BenchRecord>,
+) {
+    let report = table_portfolio(arch, width, config);
+    let cell = |name: &str| Cell::from_run(report.get(name).expect("portfolio strategy"));
+    print_comparison_row(arch, width, &cell("CEC"), &cell("MT-FO"), &cell("MT-LR"));
+    for run in &report.runs {
+        records.push(BenchRecord::from_run(arch, width, run, config));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,20 +369,48 @@ mod tests {
         let (cell, report) = run_algebraic("SP-AR-RC", 4, Method::MtLr, &config);
         assert_eq!(cell.status, "ok");
         assert!(report.outcome.is_verified());
-        let cec = run_cec("SP-AR-RC", 4, &config);
-        assert_eq!(cec.status, "ok");
+    }
+
+    #[test]
+    fn table_portfolio_agrees_across_strategies() {
+        let config = HarnessConfig {
+            widths: vec![4],
+            timeout: Duration::from_secs(30),
+            max_terms: 500_000,
+            cec_conflicts: 100_000,
+        };
+        let report = table_portfolio("SP-AR-RC", 4, &config);
+        assert_eq!(report.runs.len(), 3);
+        for run in &report.runs {
+            assert!(
+                run.outcome.is_verified(),
+                "{} should verify: {:?}",
+                run.strategy,
+                run.outcome
+            );
+        }
+        assert!(report.get("CEC").is_some());
+        assert!(report.verdict().unwrap().is_verified());
     }
 
     #[test]
     fn bench_records_serialize_to_json() {
-        let cell = Cell {
-            elapsed: Duration::from_millis(42),
-            status: "ok",
+        let config = HarnessConfig {
+            widths: vec![8],
+            timeout: Duration::from_secs(60),
+            max_terms: 1_000_000,
+            cec_conflicts: 1,
         };
-        let record = BenchRecord::from_cec("SP-AR-RC", 8, &cell);
+        let run = StrategyRun {
+            strategy: "CEC".to_string(),
+            outcome: Outcome::Verified,
+            stats: None,
+            elapsed: Duration::from_millis(42),
+        };
+        let record = BenchRecord::from_run("SP-AR-RC", 8, &run, &config);
         assert_eq!(
             record.to_json(),
-            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"method\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"status\": \"ok\"}"
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"status\": \"ok\"}"
         );
         let dir = std::env::temp_dir().join("gbmv_bench_json_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -340,5 +427,6 @@ mod tests {
         let config = HarnessConfig::default();
         assert_eq!(config.widths, vec![8, 16]);
         assert!(config.timeout >= Duration::from_secs(1));
+        assert_eq!(config.budget().max_terms, config.max_terms);
     }
 }

@@ -8,46 +8,71 @@
 //! 1. **Modeling** ([`AlgebraicModel`]): every gate of the netlist is turned
 //!    into a polynomial `g := -z + tail(g)` over Boolean variables; ordering
 //!    the variables in reverse topological order makes the model a Gröbner
-//!    basis by construction.
-//! 2. **Rewriting** ([`rewrite`]): the model is rewritten against a keep-set
-//!    of variables using repeated S-polynomial substitution ("GB-Rew",
-//!    Algorithm 2 of the paper). Three schemes are provided — *fanout
-//!    rewriting* (the MT-FO baseline of Farahmandi & Alizadeh), *XOR
-//!    rewriting* with the **XOR-AND vanishing rule** and *common rewriting*;
-//!    XOR followed by common rewriting is the paper's *logic reduction
-//!    rewriting* (Algorithm 3).
-//! 3. **Gröbner basis reduction** ([`reduction`], Algorithm 1): the
-//!    specification polynomial is divided by the rewritten model following
-//!    the reverse topological substitution order; the circuit is correct iff
-//!    the remainder is zero (modulo `2^(2n)` for multipliers).
+//!    basis by construction. Extraction is fallible: a combinational cycle is
+//!    an [`ExtractError`], not a panic.
+//! 2. **Rewriting** ([`rewrite`], pluggable via [`RewriteStrategy`]): the
+//!    model is rewritten against a keep-set of variables using repeated
+//!    S-polynomial substitution ("GB-Rew", Algorithm 2 of the paper). The
+//!    provided schemes are *fanout rewriting* (the MT-FO baseline of
+//!    Farahmandi & Alizadeh), *XOR rewriting* with the **XOR-AND vanishing
+//!    rule**, and *logic reduction rewriting* (Algorithm 3, the paper's
+//!    contribution).
+//! 3. **Gröbner basis reduction** ([`reduction`], pluggable via
+//!    [`ReductionStrategy`], Algorithm 1): the specification polynomial is
+//!    divided by the rewritten model; the circuit is correct iff the
+//!    remainder is zero (modulo `2^(2n)` for multipliers).
 //!
-//! The user-facing entry points are [`verify_multiplier`], [`verify_adder`]
-//! and the lower-level [`Verifier`].
+//! The user-facing entry point is the [`Session`] builder: extract once,
+//! choose a [`Spec`] and a strategy (a [`Method`] preset or custom
+//! [`RewriteStrategy`]/[`ReductionStrategy`] implementations), bound the run
+//! with a [`Budget`], observe [`Progress`], and [`Session::run`]. The
+//! [`Portfolio`] driver runs several strategies — including the SAT miter
+//! baseline — against one extracted model, sequentially
+//! ([`Portfolio::run_all`]) or racing with first-winner semantics
+//! ([`Portfolio::race`]).
 //!
 //! # Example
 //!
 //! ```
-//! use gbmv_core::{verify_multiplier, Method, VerifyConfig};
+//! use gbmv_core::{Method, Session, Spec};
 //! use gbmv_genmul::MultiplierSpec;
 //!
 //! let netlist = MultiplierSpec::parse("SP-WT-CL", 4).unwrap().build();
-//! let report = verify_multiplier(&netlist, 4, Method::MtLr, &VerifyConfig::default());
+//! let report = Session::extract(&netlist)?
+//!     .spec(Spec::multiplier(4))
+//!     .strategy(Method::MtLr)
+//!     .run()?;
 //! assert!(report.outcome.is_verified());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
+mod counterexample;
 mod model;
+mod portfolio;
 pub mod reduction;
 pub mod rewrite;
+mod session;
+mod spec;
+mod strategy;
 mod vanishing;
 mod verify;
 
-pub use model::{AlgebraicModel, GateFunction};
+pub use budget::{Budget, DeadlineToken};
+pub use counterexample::{Counterexample, InputBit};
+pub use model::{AlgebraicModel, ExtractError, GateFunction};
+pub use portfolio::{Portfolio, PortfolioReport, StrategyRun};
 pub use reduction::{GbReduction, ReductionOutcome, ReductionStats};
 pub use rewrite::{RewriteConfig, RewriteStats, RewritingScheme};
-pub use vanishing::{VanishingRules, VanishingTracker};
-pub use verify::{
-    verify_adder, verify_multiplier, Method, Outcome, Report, RunStats, Verifier, VerifyConfig,
+pub use session::{Outcome, Phase, Progress, Report, RunStats, Session, SessionError};
+pub use spec::{Spec, SpecError};
+pub use strategy::{
+    FanoutRewrite, GreedyReduction, LogicReductionRewrite, Method, NoRewrite, PhaseContext,
+    ReductionStrategy, RewriteStrategy, XorRewrite,
 };
+pub use vanishing::{VanishingRules, VanishingTracker};
+#[allow(deprecated)]
+pub use verify::{verify_adder, verify_multiplier, Verifier, VerifyConfig};

@@ -1,6 +1,35 @@
 use gbmv_netlist::{analysis, GateKind, NetId, Netlist};
 use gbmv_poly::{FastMap, FastSet, Int, Monomial, Polynomial, Var};
 
+/// Why model extraction (Step 1 of the MT algorithm) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// The netlist contains a combinational cycle; the gate polynomials of
+    /// the named nets cannot be ordered reverse-topologically, so the model
+    /// would not be a Gröbner basis.
+    CombinationalCycle {
+        /// Names of the nets stuck on (or fed only through) a cycle, in net
+        /// declaration order, truncated to the first 16.
+        nets: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::CombinationalCycle { nets } => {
+                write!(
+                    f,
+                    "netlist contains a combinational cycle through: {}",
+                    nets.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
 /// The structural definition of a gate, kept alongside the algebraic model so
 /// that the XOR-AND vanishing rule can recognise monomials that always
 /// evaluate to zero.
@@ -53,13 +82,24 @@ impl AlgebraicModel {
     /// Extracts the algebraic model from a netlist (Step 1 of the MT
     /// algorithm).
     ///
-    /// # Panics
-    ///
-    /// Panics if the netlist contains a combinational cycle.
-    pub fn from_netlist(netlist: &Netlist) -> Self {
+    /// Returns [`ExtractError::CombinationalCycle`] if the netlist contains a
+    /// combinational cycle (a cyclic model has no reverse-topological
+    /// variable order and therefore is not a Gröbner basis by construction).
+    pub fn from_netlist(netlist: &Netlist) -> Result<Self, ExtractError> {
+        let order = match analysis::topological_order_or_cycle(netlist) {
+            Ok(order) => order,
+            Err(stuck) => {
+                return Err(ExtractError::CombinationalCycle {
+                    nets: stuck
+                        .iter()
+                        .take(16)
+                        .map(|&n| netlist.net_name(n).to_string())
+                        .collect(),
+                });
+            }
+        };
         let levels = analysis::logic_levels(netlist);
         let fanout = analysis::fanout_counts(netlist);
-        let order = analysis::topological_order(netlist).expect("netlist must be acyclic");
         let mut tails = FastMap::default();
         let mut gate_functions = FastMap::default();
         let mut topo_order = Vec::new();
@@ -87,7 +127,7 @@ impl AlgebraicModel {
         let names = (0..netlist.net_count())
             .map(|i| netlist.net_name(NetId(i as u32)).to_string())
             .collect();
-        AlgebraicModel {
+        Ok(AlgebraicModel {
             tails,
             topo_order,
             levels,
@@ -98,7 +138,28 @@ impl AlgebraicModel {
             fanout,
             gate_functions,
             names,
+        })
+    }
+
+    /// Evaluates the circuit on a concrete input assignment by evaluating the
+    /// gate tails in topological order, returning the primary output values
+    /// in declaration order.
+    ///
+    /// On a pristine (unrewritten) model this reproduces the netlist
+    /// simulation semantics; it is what grounds counterexamples without
+    /// keeping the netlist alive. On a (fully) rewritten model the result is
+    /// unchanged because substitution preserves the circuit function.
+    pub fn evaluate(&self, assignment: &impl Fn(Var) -> bool) -> Vec<bool> {
+        let mut values = vec![false; self.names.len()];
+        for &v in &self.inputs {
+            values[v.index()] = assignment(v);
         }
+        for &v in &self.topo_order {
+            if let Some(tail) = self.tails.get(&v) {
+                values[v.index()] = !tail.eval_bool(&|u: Var| values[u.index()]).is_zero();
+            }
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
     }
 
     /// The tail polynomial of the gate polynomial whose leading variable is
@@ -404,7 +465,7 @@ mod tests {
     #[test]
     fn model_extraction_full_adder() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         assert_eq!(model.num_polynomials(), 5);
         assert_eq!(model.inputs().len(), 3);
         assert_eq!(model.outputs().len(), 2);
@@ -425,7 +486,7 @@ mod tests {
     #[test]
     fn keep_sets_full_adder() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let x = Var(nl.find_net("x").unwrap().0);
         let a = Var(nl.find_net("a").unwrap().0);
         // x (the a^b XOR) has fanout 2, inputs/outputs always kept.
@@ -445,7 +506,7 @@ mod tests {
     #[test]
     fn model_statistics_are_consistent() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         assert!(model.num_monomials() >= model.num_polynomials());
         assert!(model.max_polynomial_terms() <= model.num_monomials());
         assert!(model.max_monomial_vars() >= 2);
@@ -456,7 +517,7 @@ mod tests {
     #[test]
     fn render_uses_net_names() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let x = Var(nl.find_net("x").unwrap().0);
         let rendered = model.render(model.tail(x).unwrap());
         assert!(rendered.contains('a') && rendered.contains('b'));

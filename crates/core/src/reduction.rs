@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use gbmv_poly::{FastMap, Polynomial, Var};
 
+use crate::budget::DeadlineToken;
 use crate::model::AlgebraicModel;
 use crate::vanishing::VanishingTracker;
 
@@ -30,8 +31,12 @@ pub enum ReductionOutcome {
         /// Number of terms when the limit was hit.
         terms: usize,
     },
-    /// The configured wall-clock budget was exhausted.
+    /// The configured wall-clock budget (or the cancellation token's
+    /// deadline) was exhausted.
     TimedOut,
+    /// The cancellation token was cancelled from outside (e.g. another
+    /// portfolio strategy finished first).
+    Cancelled,
 }
 
 impl ReductionOutcome {
@@ -50,6 +55,10 @@ pub struct ReductionStats {
     pub peak_terms: usize,
     /// Number of terms of the final remainder (before modulo reduction).
     pub final_terms: usize,
+    /// Number of monomials removed by the vanishing rules *during the
+    /// reduction* (the reduction-phase share of `#CVM`; zero unless
+    /// [`GbReduction::reduce_with_vanishing`] is used).
+    pub cancelled_vanishing: u64,
     /// Wall-clock time of the reduction.
     pub elapsed: Duration,
 }
@@ -61,6 +70,11 @@ pub struct GbReduction {
     pub max_terms: usize,
     /// Abort when the reduction exceeds this wall-clock budget.
     pub timeout: Duration,
+    /// Cooperative cancellation: the reduction returns
+    /// [`ReductionOutcome::Cancelled`] (explicit cancel) or
+    /// [`ReductionOutcome::TimedOut`] (deadline) at the next substitution
+    /// after the token expires. The default token never expires.
+    pub cancel: DeadlineToken,
     /// When set, drop terms whose coefficient is a multiple of `2^k` after
     /// every substitution instead of only at the end.
     ///
@@ -81,6 +95,7 @@ impl Default for GbReduction {
         GbReduction {
             max_terms: 5_000_000,
             timeout: Duration::from_secs(3600),
+            cancel: DeadlineToken::new(),
             modulus_bits: None,
         }
     }
@@ -92,7 +107,7 @@ impl GbReduction {
         GbReduction {
             max_terms,
             timeout,
-            modulus_bits: None,
+            ..GbReduction::default()
         }
     }
 
@@ -100,6 +115,12 @@ impl GbReduction {
     /// [`GbReduction::modulus_bits`]).
     pub fn with_modulus(mut self, k: u32) -> Self {
         self.modulus_bits = Some(k);
+        self
+    }
+
+    /// Installs a cooperative cancellation token (see [`GbReduction::cancel`]).
+    pub fn with_token(mut self, token: DeadlineToken) -> Self {
+        self.cancel = token;
         self
     }
 
@@ -208,7 +229,7 @@ impl GbReduction {
             std::mem::swap(&mut r, &mut scratch);
             stats.substitutions += 1;
             if let Some(t) = tracker.as_deref_mut() {
-                t.apply(&mut r);
+                stats.cancelled_vanishing += t.apply(&mut r) as u64;
             }
             if let Some(k) = self.modulus_bits {
                 r.retain_non_multiples_of_pow2(k);
@@ -225,7 +246,12 @@ impl GbReduction {
                     stats,
                 );
             }
-            if start.elapsed() > self.timeout {
+            if self.cancel.is_cancelled() {
+                stats.final_terms = r.num_terms();
+                stats.elapsed = start.elapsed();
+                return (r, ReductionOutcome::Cancelled, stats);
+            }
+            if start.elapsed() > self.timeout || self.cancel.deadline_expired() {
                 stats.final_terms = r.num_terms();
                 stats.elapsed = start.elapsed();
                 return (r, ReductionOutcome::TimedOut, stats);
@@ -264,7 +290,7 @@ impl GbReduction {
             std::mem::swap(&mut r, &mut scratch);
             stats.substitutions += 1;
             if let Some(t) = tracker.as_deref_mut() {
-                t.apply(&mut r);
+                stats.cancelled_vanishing += t.apply(&mut r) as u64;
             }
             if let Some(k) = self.modulus_bits {
                 r.retain_non_multiples_of_pow2(k);
@@ -281,7 +307,12 @@ impl GbReduction {
                     stats,
                 );
             }
-            if start.elapsed() > self.timeout {
+            if self.cancel.is_cancelled() {
+                stats.final_terms = r.num_terms();
+                stats.elapsed = start.elapsed();
+                return (r, ReductionOutcome::Cancelled, stats);
+            }
+            if start.elapsed() > self.timeout || self.cancel.deadline_expired() {
                 stats.final_terms = r.num_terms();
                 stats.elapsed = start.elapsed();
                 return (r, ReductionOutcome::TimedOut, stats);
@@ -320,7 +351,7 @@ mod tests {
     #[test]
     fn full_adder_reduces_to_zero() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let var = |name: &str| Var(nl.find_net(name).unwrap().0);
         let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
         let (r, outcome, stats) = GbReduction::default().reduce(&model, &spec);
@@ -347,7 +378,7 @@ mod tests {
         let c = nl.or2(d, t, "c");
         nl.add_output("s", s);
         nl.add_output("c", c);
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let var = |name: &str| Var(nl.find_net(name).unwrap().0);
         let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
         let (r, outcome, _) = GbReduction::default().reduce(&model, &spec);
@@ -364,7 +395,7 @@ mod tests {
     #[test]
     fn ripple_carry_adder_3bit_reduces_to_zero() {
         let nl = gbmv_genmul::build_adder(3, gbmv_genmul::AdderKind::RippleCarry, false);
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let a: Vec<Var> = (0..3)
             .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
             .collect();
@@ -383,7 +414,7 @@ mod tests {
     #[test]
     fn kogge_stone_adder_4bit_reduces_to_zero() {
         let nl = gbmv_genmul::build_adder(4, gbmv_genmul::AdderKind::KoggeStone, false);
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let a: Vec<Var> = (0..4)
             .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
             .collect();
@@ -402,7 +433,7 @@ mod tests {
         let nl = gbmv_genmul::MultiplierSpec::parse("SP-WT-KS", 8)
             .unwrap()
             .build();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let a: Vec<Var> = (0..8)
             .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
             .collect();
@@ -420,7 +451,7 @@ mod tests {
     #[test]
     fn explicit_order_matches_default_for_full_adder() {
         let nl = full_adder_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let var = |name: &str| Var(nl.find_net(name).unwrap().0);
         let spec = full_adder_spec(var("a"), var("b"), var("cin"), var("s"), var("c"));
         let order = model.substitution_order();
@@ -437,7 +468,7 @@ mod tests {
         let zero = nl.const0("zero");
         let z = nl.or2(a, zero, "z");
         nl.add_output("z", z);
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         // spec: z - a == 0.
         let spec = Polynomial::from_terms(vec![
             (Monomial::var(Var(z.0)), Int::from(-1)),

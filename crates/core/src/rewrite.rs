@@ -22,8 +22,9 @@
 
 use std::time::{Duration, Instant};
 
-use gbmv_poly::{debug_timer, FastSet, Polynomial, Var};
+use gbmv_poly::{FastSet, Polynomial, Var};
 
+use crate::budget::DeadlineToken;
 use crate::model::AlgebraicModel;
 use crate::vanishing::{VanishingRules, VanishingTracker};
 
@@ -49,6 +50,10 @@ pub struct RewriteConfig {
     pub max_terms: usize,
     /// Abort when the rewriting pass exceeds this wall-clock budget.
     pub timeout: Duration,
+    /// Cooperative cancellation: the pass aborts (with
+    /// [`RewriteStats::limit_exceeded`]) as soon as the token expires. The
+    /// default token never expires.
+    pub cancel: DeadlineToken,
 }
 
 impl Default for RewriteConfig {
@@ -57,6 +62,7 @@ impl Default for RewriteConfig {
             rules: VanishingRules::default(),
             max_terms: 5_000_000,
             timeout: Duration::from_secs(3600),
+            cancel: DeadlineToken::new(),
         }
     }
 }
@@ -129,7 +135,7 @@ pub fn gb_rewrite(
             None => continue,
         };
         loop {
-            if start.elapsed() > config.timeout {
+            if start.elapsed() > config.timeout || config.cancel.expired() {
                 stats.limit_exceeded = true;
                 break;
             }
@@ -204,23 +210,20 @@ fn smallest_tail_candidate(
 /// Fanout rewriting: the Step-2 scheme of the MT-FO baseline.
 pub fn fanout_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Fanout);
-    debug_timer!("fanout_rewriting", gb_rewrite(model, &keep, None, config))
+    gb_rewrite(model, &keep, None, config)
 }
 
 /// XOR rewriting with the XOR-AND vanishing rule (first half of MT-LR).
 pub fn xor_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Xor);
     let mut tracker = VanishingTracker::new(model, config.rules);
-    debug_timer!(
-        "xor_rewriting",
-        gb_rewrite(model, &keep, Some(&mut tracker), config)
-    )
+    gb_rewrite(model, &keep, Some(&mut tracker), config)
 }
 
 /// Common rewriting (second half of MT-LR).
 pub fn common_rewriting(model: &mut AlgebraicModel, config: &RewriteConfig) -> RewriteStats {
     let keep = keep_set(model, RewritingScheme::Common);
-    debug_timer!("common_rewriting", gb_rewrite(model, &keep, None, config))
+    gb_rewrite(model, &keep, None, config)
 }
 
 /// Logic reduction rewriting (Algorithm 3): XOR rewriting followed by common
@@ -262,7 +265,7 @@ mod tests {
     #[test]
     fn fanout_rewriting_ripple_carry_adder() {
         let nl = build_adder(3, AdderKind::RippleCarry, false);
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         let polys_before = model.num_polynomials();
         let stats = fanout_rewriting(&mut model, &RewriteConfig::default());
         assert!(!stats.limit_exceeded);
@@ -292,7 +295,7 @@ mod tests {
     #[test]
     fn xor_rewriting_cancels_vanishing_monomials_on_prefix_adder() {
         let nl = build_adder(8, AdderKind::KoggeStone, false);
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         let stats = xor_rewriting(&mut model, &RewriteConfig::default());
         assert!(!stats.limit_exceeded);
         assert!(
@@ -313,12 +316,12 @@ mod tests {
     fn ripple_carry_has_fewer_vanishing_monomials_than_kogge_stone() {
         let width = 8;
         let rc = build_adder(width, AdderKind::RippleCarry, false);
-        let mut rc_model = AlgebraicModel::from_netlist(&rc);
+        let mut rc_model = AlgebraicModel::from_netlist(&rc).unwrap();
         let rc_stats = xor_rewriting(&mut rc_model, &RewriteConfig::default());
         assert!(rc_stats.cancelled_vanishing <= width as u64);
 
         let ks = build_adder(width, AdderKind::KoggeStone, false);
-        let mut ks_model = AlgebraicModel::from_netlist(&ks);
+        let mut ks_model = AlgebraicModel::from_netlist(&ks).unwrap();
         let ks_stats = xor_rewriting(&mut ks_model, &RewriteConfig::default());
         assert!(
             ks_stats.cancelled_vanishing > rc_stats.cancelled_vanishing,
@@ -331,7 +334,7 @@ mod tests {
     #[test]
     fn logic_reduction_rewriting_multiplier_verifies() {
         let nl = MultiplierSpec::parse("SP-WT-BK", 4).unwrap().build();
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         let stats = logic_reduction_rewriting(&mut model, &RewriteConfig::default());
         assert!(!stats.limit_exceeded);
         let a: Vec<Var> = (0..4)
@@ -351,7 +354,7 @@ mod tests {
     #[test]
     fn rewriting_preserves_output_polynomials() {
         let nl = build_adder(4, AdderKind::BrentKung, false);
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         logic_reduction_rewriting(&mut model, &RewriteConfig::default());
         for &out in model.outputs() {
             assert!(
@@ -365,7 +368,7 @@ mod tests {
     #[test]
     fn term_limit_marks_partial_rewrite() {
         let nl = MultiplierSpec::parse("SP-WT-KS", 8).unwrap().build();
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         let config = RewriteConfig {
             max_terms: 3,
             ..RewriteConfig::default()
@@ -375,9 +378,24 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_token_aborts_rewriting() {
+        let nl = MultiplierSpec::parse("SP-WT-KS", 6).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
+        let token = DeadlineToken::new();
+        token.cancel();
+        let config = RewriteConfig {
+            cancel: token,
+            ..RewriteConfig::default()
+        };
+        let stats = fanout_rewriting(&mut model, &config);
+        assert!(stats.limit_exceeded, "cancelled pass must stop early");
+        assert_eq!(stats.substitutions, 0);
+    }
+
+    #[test]
     fn common_rewriting_reduces_model_size() {
         let nl = MultiplierSpec::parse("SP-CT-BK", 4).unwrap().build();
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
         let config = RewriteConfig::default();
         xor_rewriting(&mut model, &config);
         let before = model.num_polynomials();

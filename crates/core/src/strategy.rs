@@ -1,0 +1,285 @@
+//! Pluggable phase strategies.
+//!
+//! The MT algorithm is a pipeline: model extraction, Gröbner basis rewriting
+//! (Step 2) and Gröbner basis reduction (Steps 3/4). The rewriting and
+//! reduction phases are open for extension through the [`RewriteStrategy`]
+//! and [`ReductionStrategy`] traits; the schemes evaluated by the paper
+//! (MT, MT-FO, MT-XOR, MT-LR) are provided implementations, and [`Method`]
+//! is a thin preset constructor over them. New engines — column-wise spec
+//! reduction, alternative substitution orders, parallel output cones — plug
+//! in as further implementations without touching the session driver.
+
+use std::time::Duration;
+
+use gbmv_poly::Polynomial;
+
+use crate::budget::{Budget, DeadlineToken};
+use crate::model::AlgebraicModel;
+use crate::reduction::{GbReduction, ReductionOutcome, ReductionStats};
+use crate::rewrite::{
+    fanout_rewriting, logic_reduction_rewriting, xor_rewriting, RewriteConfig, RewriteStats,
+};
+use crate::vanishing::{VanishingRules, VanishingTracker};
+
+/// Everything a phase strategy needs to know about the run it executes in:
+/// the resource budget, the shared cancellation token, and the structural
+/// vanishing rules in force.
+#[derive(Debug, Clone)]
+pub struct PhaseContext {
+    /// The resource budget of the run.
+    pub budget: Budget,
+    /// Shared cancellation token; strategies must poll it in their inner
+    /// loops (the provided implementations do).
+    pub token: DeadlineToken,
+    /// The structural vanishing rules of the run.
+    pub rules: VanishingRules,
+}
+
+impl Default for PhaseContext {
+    fn default() -> Self {
+        let budget = Budget::default();
+        PhaseContext {
+            budget,
+            token: budget.token(),
+            rules: VanishingRules::default(),
+        }
+    }
+}
+
+impl PhaseContext {
+    /// The rewrite configuration corresponding to this context (deadline
+    /// enforcement delegated to the token).
+    pub fn rewrite_config(&self) -> RewriteConfig {
+        RewriteConfig {
+            rules: self.rules,
+            max_terms: self.budget.max_terms,
+            timeout: Duration::MAX,
+            cancel: self.token.clone(),
+        }
+    }
+
+    /// A reduction engine honouring this context (deadline enforcement
+    /// delegated to the token); `modulus_bits` enables intermediate
+    /// `mod 2^k` coefficient dropping.
+    pub fn reduction_engine(&self, modulus_bits: Option<u32>) -> GbReduction {
+        let mut engine =
+            GbReduction::new(self.budget.max_terms, Duration::MAX).with_token(self.token.clone());
+        if let Some(k) = modulus_bits {
+            engine = engine.with_modulus(k);
+        }
+        engine
+    }
+}
+
+/// A Step-2 strategy: rewrites the model in place before the reduction.
+///
+/// Implementations must poll `ctx.token` in long-running loops and set
+/// [`RewriteStats::limit_exceeded`] when they stop early.
+pub trait RewriteStrategy: Send + Sync {
+    /// Short display name (used in reports and bench records).
+    fn name(&self) -> &str;
+
+    /// Rewrites the model in place, returning the pass statistics.
+    fn rewrite(&self, model: &mut AlgebraicModel, ctx: &PhaseContext) -> RewriteStats;
+}
+
+/// A Step-3/4 strategy: reduces the specification polynomial against the
+/// (rewritten) model and returns the remainder.
+///
+/// Implementations must poll `ctx.token` in their inner loops.
+pub trait ReductionStrategy: Send + Sync {
+    /// Short display name (used in reports and bench records).
+    fn name(&self) -> &str;
+
+    /// Reduces `spec` against `model`, returning the remainder, why the
+    /// reduction ended, and its statistics. `modulus_bits` is the modulus of
+    /// the zero test (for intermediate coefficient dropping).
+    fn reduce(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        modulus_bits: Option<u32>,
+        ctx: &PhaseContext,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats);
+}
+
+/// No rewriting at all (the plain MT baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRewrite;
+
+impl RewriteStrategy for NoRewrite {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn rewrite(&self, _model: &mut AlgebraicModel, _ctx: &PhaseContext) -> RewriteStats {
+        RewriteStats::default()
+    }
+}
+
+/// Fanout rewriting — the MT-FO baseline of Farahmandi & Alizadeh.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FanoutRewrite;
+
+impl RewriteStrategy for FanoutRewrite {
+    fn name(&self) -> &str {
+        "fanout"
+    }
+
+    fn rewrite(&self, model: &mut AlgebraicModel, ctx: &PhaseContext) -> RewriteStats {
+        fanout_rewriting(model, &ctx.rewrite_config())
+    }
+}
+
+/// XOR rewriting with the vanishing rules (the first half of MT-LR; the
+/// paper's ablation shows it is inefficient on its own).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorRewrite;
+
+impl RewriteStrategy for XorRewrite {
+    fn name(&self) -> &str {
+        "xor"
+    }
+
+    fn rewrite(&self, model: &mut AlgebraicModel, ctx: &PhaseContext) -> RewriteStats {
+        xor_rewriting(model, &ctx.rewrite_config())
+    }
+}
+
+/// Logic reduction rewriting (Algorithm 3): XOR rewriting with the vanishing
+/// rules followed by common rewriting — the paper's contribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogicReductionRewrite;
+
+impl RewriteStrategy for LogicReductionRewrite {
+    fn name(&self) -> &str {
+        "logic-reduction"
+    }
+
+    fn rewrite(&self, model: &mut AlgebraicModel, ctx: &PhaseContext) -> RewriteStats {
+        logic_reduction_rewriting(model, &ctx.rewrite_config())
+    }
+}
+
+/// The provided reduction strategy: greedy smallest-growth substitution order
+/// (see [`GbReduction::reduce`]), optionally re-applying the structural
+/// vanishing rules after every substitution.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyReduction {
+    /// Apply the vanishing rules during the reduction (required for the
+    /// logic-reduction methods; see [`GbReduction::reduce_with_vanishing`]).
+    pub vanishing: bool,
+}
+
+impl ReductionStrategy for GreedyReduction {
+    fn name(&self) -> &str {
+        if self.vanishing {
+            "greedy+vanishing"
+        } else {
+            "greedy"
+        }
+    }
+
+    fn reduce(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        modulus_bits: Option<u32>,
+        ctx: &PhaseContext,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        let engine = ctx.reduction_engine(modulus_bits);
+        if self.vanishing {
+            // The gate-function index survives rewriting (only tails change),
+            // so the tracker can be built from the rewritten model.
+            let mut tracker = VanishingTracker::new(model, ctx.rules);
+            engine.reduce_with_vanishing(model, spec, &mut tracker)
+        } else {
+            engine.reduce(model, spec)
+        }
+    }
+}
+
+/// The verification methods of the paper's tables: presets pairing a
+/// [`RewriteStrategy`] with a [`ReductionStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// No rewriting at all; reduce the raw gate-level model.
+    MtNaive,
+    /// Fanout rewriting — the MT-FO baseline of Farahmandi & Alizadeh \[7\].
+    MtFo,
+    /// XOR rewriting only (ablation; the paper argues this alone is
+    /// inefficient).
+    MtXorOnly,
+    /// Logic reduction rewriting (XOR + common rewriting with the XOR-AND
+    /// vanishing rule) — the paper's contribution.
+    MtLr,
+}
+
+impl Method {
+    /// All methods, in the order the paper's tables list them.
+    pub fn all() -> [Method; 4] {
+        [
+            Method::MtNaive,
+            Method::MtFo,
+            Method::MtXorOnly,
+            Method::MtLr,
+        ]
+    }
+
+    /// Short display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::MtNaive => "MT",
+            Method::MtFo => "MT-FO",
+            Method::MtXorOnly => "MT-XOR",
+            Method::MtLr => "MT-LR",
+        }
+    }
+
+    /// The Step-2 strategy this preset stands for.
+    pub fn rewrite_strategy(self) -> Box<dyn RewriteStrategy> {
+        match self {
+            Method::MtNaive => Box::new(NoRewrite),
+            Method::MtFo => Box::new(FanoutRewrite),
+            Method::MtXorOnly => Box::new(XorRewrite),
+            Method::MtLr => Box::new(LogicReductionRewrite),
+        }
+    }
+
+    /// The Step-3/4 strategy this preset stands for.
+    pub fn reduction_strategy(self) -> Box<dyn ReductionStrategy> {
+        match self {
+            Method::MtNaive | Method::MtFo => Box::new(GreedyReduction { vanishing: false }),
+            Method::MtXorOnly | Method::MtLr => Box::new(GreedyReduction { vanishing: true }),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(Method::MtLr.name(), "MT-LR");
+        assert_eq!(Method::MtFo.name(), "MT-FO");
+        assert_eq!(Method::all().len(), 4);
+        assert_eq!(format!("{}", Method::MtNaive), "MT");
+    }
+
+    #[test]
+    fn presets_pair_the_paper_strategies() {
+        assert_eq!(Method::MtLr.rewrite_strategy().name(), "logic-reduction");
+        assert_eq!(Method::MtLr.reduction_strategy().name(), "greedy+vanishing");
+        assert_eq!(Method::MtFo.rewrite_strategy().name(), "fanout");
+        assert_eq!(Method::MtFo.reduction_strategy().name(), "greedy");
+        assert_eq!(Method::MtNaive.rewrite_strategy().name(), "none");
+        assert_eq!(Method::MtXorOnly.rewrite_strategy().name(), "xor");
+    }
+}

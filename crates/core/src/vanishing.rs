@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn xor_and_monomial_vanishes() {
         let (nl, _a, _b, x, d, _n) = xd_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let tracker = VanishingTracker::new(&model, VanishingRules::default());
         assert!(tracker.monomial_vanishes(&Monomial::from_vars(vec![x, d])));
         assert!(!tracker.monomial_vanishes(&Monomial::from_vars(vec![x])));
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn extended_rules_only_when_enabled() {
         let (nl, a, b, x, _d, n) = xd_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let default_tracker = VanishingTracker::new(&model, VanishingRules::default());
         assert!(default_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, a, b])));
         assert!(!default_tracker.monomial_vanishes(&Monomial::from_vars(vec![x, n])));
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn apply_removes_and_counts() {
         let (nl, a, _b, x, d, _n) = xd_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let mut tracker = VanishingTracker::new(&model, VanishingRules::default());
         let mut p = Polynomial::from_terms(vec![
             (Monomial::from_vars(vec![x, d]), Int::from(7)),
@@ -231,7 +231,7 @@ mod tests {
         // Exhaustively check that monomials flagged as vanishing indeed
         // evaluate to zero under every consistent circuit assignment.
         let (nl, a, b, x, d, n) = xd_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let tracker = VanishingTracker::new(&model, VanishingRules::all());
         let candidates = [
             Monomial::from_vars(vec![x, d]),
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn xor_gate_count_reported() {
         let (nl, ..) = xd_netlist();
-        let model = AlgebraicModel::from_netlist(&nl);
+        let model = AlgebraicModel::from_netlist(&nl).unwrap();
         let tracker = VanishingTracker::new(&model, VanishingRules::default());
         assert_eq!(tracker.xor_gate_count(), 1);
     }

@@ -12,8 +12,15 @@ use crate::netlist::{NetId, Netlist};
 
 /// Computes a topological order of all nets (inputs first, outputs last).
 ///
-/// Returns `None` if the netlist contains a combinational cycle.
+/// Returns `None` if the netlist contains a combinational cycle. Use
+/// [`topological_order_or_cycle`] to learn which nets are stuck on a cycle.
 pub fn topological_order(netlist: &Netlist) -> Option<Vec<NetId>> {
+    topological_order_or_cycle(netlist).ok()
+}
+
+/// Like [`topological_order`], but on failure returns the nets that could not
+/// be ordered: every net on (or fed only through) a combinational cycle.
+pub fn topological_order_or_cycle(netlist: &Netlist) -> Result<Vec<NetId>, Vec<NetId>> {
     let n = netlist.net_count();
     // in-degree per net: number of distinct input nets of its driver.
     let mut indeg = vec![0usize; n];
@@ -44,9 +51,14 @@ pub fn topological_order(netlist: &Netlist) -> Option<Vec<NetId>> {
         }
     }
     if order.len() == n {
-        Some(order)
+        Ok(order)
     } else {
-        None
+        let placed: HashSet<NetId> = order.into_iter().collect();
+        let stuck: Vec<NetId> = (0..n as u32)
+            .map(NetId)
+            .filter(|id| !placed.contains(id))
+            .collect();
+        Err(stuck)
     }
 }
 
@@ -242,5 +254,11 @@ mod tests {
         nl.add_gate_driving(GateKind::Or, y, &[a, x]).unwrap();
         assert!(topological_order(&nl).is_none());
         assert!(nl.validate().is_err());
+        let stuck = topological_order_or_cycle(&nl).unwrap_err();
+        assert!(stuck.contains(&x) && stuck.contains(&y));
+        assert!(
+            !stuck.contains(&a),
+            "acyclic inputs are not part of the cycle"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! * Structural analysis: topological ordering, logic levels, fanout counts and
 //!   transitive fan-in cones ([`analysis`]).
 //! * Bit-parallel simulation for validating generated circuits ([`sim`]).
-//! * A small BLIF-like textual exchange format ([`format`]).
+//! * A small BLIF-like textual exchange format ([`mod@format`]).
 //! * Fault injection used by the negative verification tests ([`fault`]).
 //!
 //! # Example

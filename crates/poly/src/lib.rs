@@ -24,8 +24,10 @@
 //!   loops.
 //! * [`FastMap`] / [`FastSet`] — `ahash`-keyed hash containers used for every
 //!   hot map in the engine (term tables, keep-sets, model indices).
-//! * [`debug_timer!`] — opt-in wall-clock instrumentation for the
-//!   rewrite/reduction phases (enabled by setting `GBMV_TIMING`).
+//! * [`debug_timer!`] — opt-in wall-clock instrumentation for ad-hoc hot-spot
+//!   hunting (enabled by setting `GBMV_TIMING`). The verification pipeline
+//!   itself reports phase timings through the structured
+//!   `gbmv_core::Session::observer` hook instead.
 //! * [`spec`] — specification polynomials for adders and (modular) multipliers.
 //!
 //! # Representation invariants

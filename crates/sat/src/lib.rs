@@ -43,5 +43,8 @@ mod solver;
 pub mod tseitin;
 
 pub use cnf::{Cnf, Lit, VarId};
-pub use miter::{check_against_product, check_equivalence, EquivalenceResult};
+pub use miter::{
+    check_against_product, check_against_product_with, check_equivalence, check_equivalence_with,
+    EquivalenceResult,
+};
 pub use solver::{SolveResult, Solver};

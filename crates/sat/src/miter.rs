@@ -46,6 +46,24 @@ pub fn check_equivalence(
     b: &Netlist,
     conflict_budget: Option<u64>,
 ) -> EquivalenceResult {
+    check_equivalence_with(a, b, conflict_budget, &|| false)
+}
+
+/// Like [`check_equivalence`], but polls `interrupt` during the SAT search and
+/// returns [`EquivalenceResult::Unknown`] as soon as it reports `true`.
+///
+/// This is the cooperative-cancellation hook used when the miter baseline runs
+/// inside a verification portfolio racing against the algebraic engines.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ (number of inputs or outputs).
+pub fn check_equivalence_with(
+    a: &Netlist,
+    b: &Netlist,
+    conflict_budget: Option<u64>,
+    interrupt: &dyn Fn() -> bool,
+) -> EquivalenceResult {
     assert_eq!(
         a.inputs().len(),
         b.inputs().len(),
@@ -70,7 +88,7 @@ pub fn check_equivalence(
     }
     cnf.add_clause(diff_lits);
     let mut solver = Solver::new(cnf);
-    match solver.solve(conflict_budget) {
+    match solver.solve_with_interrupt(conflict_budget, interrupt) {
         SolveResult::Unsat => EquivalenceResult::Equivalent,
         SolveResult::Unknown => EquivalenceResult::Unknown,
         SolveResult::Sat(model) => {
@@ -93,8 +111,24 @@ pub fn check_against_product(
     width: usize,
     conflict_budget: Option<u64>,
 ) -> EquivalenceResult {
+    check_against_product_with(netlist, width, conflict_budget, &|| false)
+}
+
+/// Like [`check_against_product`], but polls `interrupt` during the SAT search
+/// (see [`check_equivalence_with`]).
+///
+/// # Panics
+///
+/// Panics if the netlist interface is not `2*width` inputs / `2*width`
+/// outputs.
+pub fn check_against_product_with(
+    netlist: &Netlist,
+    width: usize,
+    conflict_budget: Option<u64>,
+    interrupt: &dyn Fn() -> bool,
+) -> EquivalenceResult {
     let golden = golden_array_multiplier(width);
-    check_equivalence(netlist, &golden, conflict_budget)
+    check_equivalence_with(netlist, &golden, conflict_budget, interrupt)
 }
 
 /// Builds the golden reference multiplier: a simple-partial-product array

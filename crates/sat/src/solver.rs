@@ -320,6 +320,20 @@ impl Solver {
     /// result is [`SolveResult::Unknown`] (the analogue of a timeout in the
     /// paper's experiments). `None` means unlimited.
     pub fn solve(&mut self, conflict_budget: Option<u64>) -> SolveResult {
+        self.solve_with_interrupt(conflict_budget, &|| false)
+    }
+
+    /// Like [`Solver::solve`], but additionally polls `interrupt` every few
+    /// hundred search steps and returns [`SolveResult::Unknown`] as soon as it
+    /// reports `true`.
+    ///
+    /// This is the hook used for cooperative cancellation (shared deadline
+    /// tokens) when the SAT baseline runs inside a verification portfolio.
+    pub fn solve_with_interrupt(
+        &mut self,
+        conflict_budget: Option<u64>,
+        interrupt: &dyn Fn() -> bool,
+    ) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -328,7 +342,12 @@ impl Solver {
         }
         let mut restart_limit = 100u64;
         let mut conflicts_since_restart = 0u64;
+        let mut steps = 0u64;
         loop {
+            steps += 1;
+            if steps & 0x1ff == 0 && interrupt() {
+                return SolveResult::Unknown;
+            }
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_since_restart += 1;

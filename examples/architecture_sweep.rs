@@ -1,20 +1,26 @@
 //! Sweeps every multiplier architecture family (2 partial-product generators
 //! x 5 accumulators x 5 final adders = 50 architectures) at a small width and
-//! verifies each with MT-LR, printing a compact matrix — the full architecture
-//! space the paper's benchmark set is drawn from.
+//! verifies each with MT-LR through the `Session` API, printing a compact
+//! matrix — the full architecture space the paper's benchmark set is drawn
+//! from.
+//!
+//! Each instance runs under a tight per-run [`Budget`]; architectures whose
+//! reduction still blows up at this width (e.g. the array accumulator feeding
+//! a Kogge-Stone final adder) report `TO`, mirroring the paper's tables. A
+//! mismatch, by contrast, would be a real bug — the sweep asserts none occur.
 //!
 //! Run with `cargo run --release --example architecture_sweep`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use gbmv::core::{verify_multiplier, Method, VerifyConfig};
 use gbmv::genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
+use gbmv::{Budget, Method, Session, Spec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let width = 6;
-    let config = VerifyConfig {
-        extract_counterexample: false,
-        ..VerifyConfig::default()
+    let budget = Budget {
+        max_terms: 1_000_000,
+        deadline: Some(Duration::from_secs(20)),
     };
     println!("MT-LR verification of all architectures at width {width} (time in ms):");
     println!(
@@ -22,6 +28,7 @@ fn main() {
         "PP", "Acc", "RC", "CL", "BK", "KS", "HC"
     );
     let mut verified = 0;
+    let mut mismatches = 0;
     let mut total = 0;
     for pp in PartialProduct::all() {
         for acc in Accumulator::all() {
@@ -30,19 +37,28 @@ fn main() {
                 let spec = MultiplierSpec::new(width, pp, acc, fsa);
                 let netlist = spec.build();
                 let start = Instant::now();
-                let report = verify_multiplier(&netlist, width, Method::MtLr, &config);
+                let report = Session::extract(&netlist)?
+                    .spec(Spec::multiplier(width))
+                    .strategy(Method::MtLr)
+                    .budget(budget)
+                    .counterexamples(false)
+                    .run()?;
                 let ms = start.elapsed().as_millis();
                 total += 1;
                 if report.outcome.is_verified() {
                     verified += 1;
                     row.push_str(&format!(" {ms:>10}"));
-                } else {
+                } else if report.outcome.is_mismatch() {
+                    mismatches += 1;
                     row.push_str(&format!(" {:>10}", "FAIL"));
+                } else {
+                    row.push_str(&format!(" {:>10}", "TO"));
                 }
             }
             println!("{row}");
         }
     }
-    println!("verified {verified}/{total} architectures");
-    assert_eq!(verified, total);
+    println!("verified {verified}/{total} architectures within the budget");
+    assert_eq!(mismatches, 0, "a mismatch on a correct circuit is a bug");
+    Ok(())
 }

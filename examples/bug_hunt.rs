@@ -1,20 +1,19 @@
 //! Negative verification: inject random gate-level faults into a correct
-//! multiplier and show that (a) MT-LR reports a mismatch with a concrete
-//! counterexample, and (b) the SAT miter baseline finds a distinguishing
-//! input — then cross-check both against simulation.
+//! multiplier and show that (a) MT-LR reports a mismatch with a concrete,
+//! typed counterexample, and (b) the SAT miter baseline finds a
+//! distinguishing input — then cross-check both against simulation.
 //!
 //! Run with `cargo run --release --example bug_hunt`.
 
-use gbmv::core::{verify_multiplier, Method, Outcome, VerifyConfig};
-use gbmv::genmul::MultiplierSpec;
 use gbmv::netlist::fault::distinguishable_mutant;
 use gbmv::sat::{check_against_product, EquivalenceResult};
+use gbmv::{Method, Outcome, Session, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let width = 4;
-    let golden = MultiplierSpec::parse("SP-WT-BK", width)
+    let golden = gbmv::genmul::MultiplierSpec::parse("SP-WT-BK", width)
         .expect("architecture")
         .build();
     let mut rng = StdRng::seed_from_u64(2024);
@@ -26,8 +25,12 @@ fn main() {
             distinguishable_mutant(&golden, 200, &mut rng).expect("a detectable fault exists");
         println!("trial {trial}: injected {fault:?}");
 
-        // Algebraic verification must reject the mutant.
-        let report = verify_multiplier(&mutant, width, Method::MtLr, &VerifyConfig::default());
+        // Algebraic verification must reject the mutant; the counterexample
+        // is a typed struct carrying the operand words and both output words.
+        let report = Session::extract(&mutant)?
+            .spec(Spec::multiplier(width))
+            .strategy(Method::MtLr)
+            .run()?;
         match &report.outcome {
             Outcome::Mismatch {
                 remainder_terms,
@@ -36,20 +39,11 @@ fn main() {
                 caught_algebraic += 1;
                 println!("  MT-LR: mismatch, remainder has {remainder_terms} terms");
                 if let Some(cex) = counterexample {
-                    let (mut a, mut b) = (0u128, 0u128);
-                    for i in 0..width {
-                        if cex[&format!("a{i}")] {
-                            a |= 1 << i;
-                        }
-                        if cex[&format!("b{i}")] {
-                            b |= 1 << i;
-                        }
-                    }
+                    println!("  counterexample: {cex}");
+                    let (a, b) = (cex.operand("a").unwrap(), cex.operand("b").unwrap());
+                    // Cross-check against netlist simulation.
                     let product = mutant.evaluate_words(&[a, b], &[width, width]);
-                    println!(
-                        "  counterexample: a={a} b={b} -> circuit says {product}, expected {}",
-                        a * b
-                    );
+                    assert_eq!(Some(product), cex.circuit_word);
                     assert_ne!(product, a * b);
                 }
             }
@@ -68,4 +62,5 @@ fn main() {
     println!("caught by MT-LR: {caught_algebraic}/{trials}, by SAT miter: {caught_sat}/{trials}");
     assert_eq!(caught_algebraic, trials);
     assert_eq!(caught_sat, trials);
+    Ok(())
 }

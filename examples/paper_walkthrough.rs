@@ -36,7 +36,7 @@ fn example1_full_adder() {
     nl.add_output("s", s);
     nl.add_output("c", c);
 
-    let model = AlgebraicModel::from_netlist(&nl);
+    let model = AlgebraicModel::from_netlist(&nl).expect("acyclic");
     println!("gate polynomials (g := -leading + tail):");
     for v in model.substitution_order() {
         println!(
@@ -64,7 +64,7 @@ fn example1_full_adder() {
 fn example2_ripple_carry_fanout_rewriting() {
     println!("=== Example 2: 3-bit ripple carry adder, fanout rewriting ===");
     let nl = build_adder(3, AdderKind::RippleCarry, false);
-    let mut model = AlgebraicModel::from_netlist(&nl);
+    let mut model = AlgebraicModel::from_netlist(&nl).expect("acyclic");
     let before = model.num_polynomials();
     let stats = fanout_rewriting(&mut model, &RewriteConfig::default());
     println!(
@@ -106,7 +106,7 @@ fn example3_parallel_prefix_vanishing_monomials() {
     println!("=== Example 3: Kogge-Stone adder, XOR rewriting + vanishing rule ===");
     for width in [4, 8, 16] {
         let nl = build_adder(width, AdderKind::KoggeStone, false);
-        let mut model = AlgebraicModel::from_netlist(&nl);
+        let mut model = AlgebraicModel::from_netlist(&nl).expect("acyclic");
         let stats = xor_rewriting(&mut model, &RewriteConfig::default());
         let a: Vec<Var> = (0..width)
             .map(|i| Var(nl.find_net(&format!("a{i}")).expect("input").0))

@@ -1,13 +1,14 @@
-//! Quickstart: generate a multiplier, verify it with MT-LR, inspect the
-//! statistics, and cross-check with the SAT-based equivalence checker.
+//! Quickstart: generate a multiplier, verify it through the `Session` API
+//! with a progress observer, inspect the statistics, then race MT-LR against
+//! the SAT miter baseline with a `Portfolio`.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use gbmv::core::{verify_multiplier, Method, VerifyConfig};
+use gbmv::core::Progress;
 use gbmv::genmul::MultiplierSpec;
-use gbmv::sat::check_against_product;
+use gbmv::{Budget, Method, Portfolio, Session, Spec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8x8 Booth-encoded Wallace-tree multiplier with a carry-lookahead
     // final adder: one of the "complex parallel" architectures that only
     // MT-LR handles in the paper.
@@ -16,12 +17,22 @@ fn main() {
     let netlist = spec.build();
     println!("circuit: {}", netlist.summary());
 
-    // Algebraic verification with logic reduction rewriting (MT-LR).
-    let report = verify_multiplier(&netlist, width, Method::MtLr, &VerifyConfig::default());
+    // Algebraic verification with logic reduction rewriting (MT-LR). The
+    // observer replaces the old GBMV_TIMING env var: phase timings arrive as
+    // structured events.
+    let report = Session::extract(&netlist)?
+        .spec(Spec::multiplier(width))
+        .strategy(Method::MtLr)
+        .observer(|progress| {
+            if let Progress::PhaseFinished { phase, elapsed } = progress {
+                println!("  [observer] {phase} finished in {elapsed:?}");
+            }
+        })
+        .run()?;
     println!("MT-LR outcome: {:?}", report.outcome);
     println!(
         "  cancelled vanishing monomials (#CVM): {}",
-        report.stats.rewrite.cancelled_vanishing
+        report.stats.cancelled_vanishing()
     );
     println!(
         "  rewritten model: #P={} #M={} #MP={} #VM={}",
@@ -36,7 +47,25 @@ fn main() {
     );
     assert!(report.outcome.is_verified());
 
-    // The SAT miter baseline agrees (and is the slower path as width grows).
-    let cec = check_against_product(&netlist, width, Some(1_000_000));
-    println!("SAT miter baseline: {cec:?}");
+    // Portfolio race: MT-LR and the SAT miter baseline share one extracted
+    // model and one deadline; the first definitive verdict cancels the other.
+    let race = Portfolio::extract(&netlist)?
+        .spec(Spec::multiplier(width))
+        .budget(Budget::default())
+        .method(Method::MtLr)
+        .sat_baseline(Some(1_000_000))
+        .race()?;
+    let winner = race.winner().expect("one strategy finishes");
+    println!(
+        "portfolio race winner: {} in {:?} ({:?})",
+        winner.strategy, winner.elapsed, winner.outcome
+    );
+    for run in &race.runs {
+        println!(
+            "  {}: {:?} after {:?}",
+            run.strategy, run.outcome, run.elapsed
+        );
+    }
+    assert!(race.verdict().expect("definitive verdict").is_verified());
+    Ok(())
 }

@@ -1,19 +1,22 @@
 //! Cross-crate integration tests: generator -> algebraic verifier -> SAT
-//! baseline -> simulation all agree.
+//! baseline -> simulation all agree, driven through the `Session` API.
 
-use gbmv::core::{verify_adder, verify_multiplier, Method, Outcome, VerifyConfig};
 use gbmv::genmul::{build_adder, AdderKind, MultiplierSpec};
 use gbmv::netlist::fault::distinguishable_mutant;
 use gbmv::netlist::sim::random_equivalence_check;
+use gbmv::netlist::Netlist;
 use gbmv::sat::{check_against_product, check_equivalence};
+use gbmv::{Budget, Method, Outcome, Report, Session, Spec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn config() -> VerifyConfig {
-    VerifyConfig {
-        extract_counterexample: true,
-        ..VerifyConfig::default()
-    }
+fn verify_mul(netlist: &Netlist, width: usize, method: Method) -> Report {
+    Session::extract(netlist)
+        .expect("generated netlists are acyclic")
+        .spec(Spec::multiplier(width))
+        .strategy(method)
+        .run()
+        .expect("multiplier interface")
 }
 
 /// Every Table I / Table II architecture family verifies with MT-LR at a
@@ -32,7 +35,7 @@ fn all_paper_architectures_verify_with_mt_lr() {
         let netlist = MultiplierSpec::parse(arch, width)
             .expect("architecture")
             .build();
-        let report = verify_multiplier(&netlist, width, Method::MtLr, &config());
+        let report = verify_mul(&netlist, width, Method::MtLr);
         assert!(
             report.outcome.is_verified(),
             "{arch} must verify with MT-LR, got {:?}",
@@ -56,50 +59,82 @@ fn mt_fo_blows_up_where_mt_lr_succeeds() {
     // engine both methods got dramatically cheaper; at this width MT-FO peaks
     // above 10k terms while MT-LR stays near 100, so a 2k budget separates
     // them with ample margin on both sides.
-    let tight = VerifyConfig {
+    let tight = Budget {
         max_terms: 2_000,
-        timeout: std::time::Duration::from_secs(300),
-        extract_counterexample: false,
-        ..VerifyConfig::default()
+        deadline: Some(std::time::Duration::from_secs(300)),
     };
     let complex = MultiplierSpec::parse("BP-WT-CL", width)
         .expect("architecture")
         .build();
-    let fo_complex = verify_multiplier(&complex, width, Method::MtFo, &tight);
+    let mut session = Session::extract(&complex)
+        .expect("acyclic")
+        .spec(Spec::multiplier(width))
+        .budget(tight)
+        .counterexamples(false);
+    session = session.strategy(Method::MtFo);
+    let fo_complex = session.run().expect("interface");
     assert!(
         fo_complex.outcome.is_resource_limit(),
         "MT-FO must blow up on BP-WT-CL under the term budget, got {:?}",
         fo_complex.outcome
     );
-    let lr_complex = verify_multiplier(&complex, width, Method::MtLr, &tight);
+    session = session.strategy(Method::MtLr);
+    let lr_complex = session.run().expect("interface");
     assert!(
         lr_complex.outcome.is_verified(),
         "MT-LR must verify BP-WT-CL under the same budget, got {:?}",
         lr_complex.outcome
     );
-    assert!(lr_complex.stats.rewrite.cancelled_vanishing > 0);
+    assert!(lr_complex.stats.cancelled_vanishing() > 0);
 }
 
-/// Faulty circuits are rejected by both engines and the counterexamples are
-/// confirmed by simulation.
+/// Single-gate faults injected into three different architectures are
+/// rejected with `Outcome::Mismatch`, and the typed counterexample is
+/// validated against netlist simulation: the circuit word differs from the
+/// specification word exactly as the counterexample claims.
 #[test]
-fn faults_are_caught_by_all_engines() {
+fn faults_across_architectures_yield_validated_counterexamples() {
     let width = 4;
-    let golden = MultiplierSpec::parse("BP-CT-BK", width)
-        .expect("architecture")
-        .build();
-    let mut rng = StdRng::seed_from_u64(7);
-    for _ in 0..3 {
-        let (_, mutant) = distinguishable_mutant(&golden, 200, &mut rng).expect("mutant");
+    for (arch, seed) in [("BP-CT-BK", 7u64), ("SP-WT-CL", 11), ("SP-AR-RC", 23)] {
+        let golden = MultiplierSpec::parse(arch, width)
+            .expect("architecture")
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (fault, mutant) = distinguishable_mutant(&golden, 200, &mut rng).expect("mutant");
         // Simulation sees the difference.
         assert!(random_equivalence_check(&golden, &mutant, 8, &mut rng).is_some());
-        // The algebraic verifier rejects it.
-        let report = verify_multiplier(&mutant, width, Method::MtLr, &config());
-        match report.outcome {
-            Outcome::Mismatch { .. } => {}
-            other => panic!("expected mismatch, got {other:?}"),
+        // The algebraic verifier rejects it with a grounded counterexample.
+        let report = verify_mul(&mutant, width, Method::MtLr);
+        match &report.outcome {
+            Outcome::Mismatch {
+                remainder_terms,
+                counterexample,
+            } => {
+                assert!(*remainder_terms > 0, "{arch}: empty remainder");
+                let cex = counterexample
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{arch}: no counterexample for {fault:?}"));
+                let a = cex.operand("a").expect("operand a");
+                let b = cex.operand("b").expect("operand b");
+                let simulated = mutant.evaluate_words(&[a, b], &[width, width]);
+                assert_eq!(
+                    Some(simulated),
+                    cex.circuit_word,
+                    "{arch}: counterexample circuit word must match simulation"
+                );
+                assert_eq!(
+                    Some((a * b) % (1 << (2 * width))),
+                    cex.expected_word,
+                    "{arch}: expected word must be the true product"
+                );
+                assert_ne!(
+                    cex.circuit_word, cex.expected_word,
+                    "{arch}: counterexample must expose the fault"
+                );
+            }
+            other => panic!("{arch}: expected mismatch, got {other:?}"),
         }
-        // The SAT miter rejects it.
+        // The SAT miter rejects it too.
         assert!(!check_equivalence(&golden, &mutant, None).is_equivalent());
     }
 }
@@ -112,7 +147,12 @@ fn adder_families_verify_and_are_equivalent() {
     let reference = build_adder(width, AdderKind::RippleCarry, false);
     for kind in AdderKind::all() {
         let adder = build_adder(width, kind, false);
-        let report = verify_adder(&adder, width, false, Method::MtLr, &config());
+        let report = Session::extract(&adder)
+            .expect("acyclic")
+            .spec(Spec::adder(width))
+            .strategy(Method::MtLr)
+            .run()
+            .expect("adder interface");
         assert!(
             report.outcome.is_verified(),
             "{kind:?} adder failed: {:?}",
@@ -133,7 +173,7 @@ fn netlist_format_round_trip_preserves_verifiability() {
     let text = gbmv::netlist::write_netlist(&netlist);
     let parsed = gbmv::netlist::parse_netlist(&text).expect("parse back");
     assert_eq!(parsed.inputs().len(), netlist.inputs().len());
-    let report = verify_multiplier(&parsed, width, Method::MtLr, &config());
+    let report = verify_mul(&parsed, width, Method::MtLr);
     assert!(report.outcome.is_verified());
 }
 
@@ -152,14 +192,14 @@ fn vanishing_monomial_counts_follow_architecture_complexity() {
     let ks = MultiplierSpec::parse("SP-AR-KS", width)
         .expect("architecture")
         .build();
-    let rc_report = verify_multiplier(&rc, width, Method::MtLr, &config());
-    let ks_report = verify_multiplier(&ks, width, Method::MtLr, &config());
+    let rc_report = verify_mul(&rc, width, Method::MtLr);
+    let ks_report = verify_mul(&ks, width, Method::MtLr);
     assert!(rc_report.outcome.is_verified());
     assert!(ks_report.outcome.is_verified());
     assert!(
-        ks_report.stats.rewrite.cancelled_vanishing > rc_report.stats.rewrite.cancelled_vanishing,
+        ks_report.stats.cancelled_vanishing() > rc_report.stats.cancelled_vanishing(),
         "KS: {}, RC: {}",
-        ks_report.stats.rewrite.cancelled_vanishing,
-        rc_report.stats.rewrite.cancelled_vanishing
+        ks_report.stats.cancelled_vanishing(),
+        rc_report.stats.cancelled_vanishing()
     );
 }

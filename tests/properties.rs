@@ -1,10 +1,11 @@
 //! Cross-crate property-based tests: for randomly drawn architectures and
 //! widths, the generated circuit simulates correctly, the algebraic verifier
-//! accepts it, and the netlist text format round-trips.
+//! (through the `Session` API) accepts it, and the netlist text format
+//! round-trips.
 
-use gbmv::core::{verify_multiplier, Method, VerifyConfig};
 use gbmv::genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
 use gbmv::netlist::{parse_netlist, write_netlist};
+use gbmv::{Method, Session, Spec};
 use proptest::prelude::*;
 
 fn arb_spec(max_width: usize) -> impl Strategy<Value = MultiplierSpec> {
@@ -41,15 +42,20 @@ proptest! {
         prop_assert_eq!(got, (a as u128 * b as u128) % modulus, "{}", spec.name());
     }
 
-    /// Any generated multiplier is accepted by MT-LR, including the
-    /// redundant-binary accumulator (which the seed engine blew up on; the
-    /// intermediate mod-2^(2n) dropping and level-greedy substitution order
-    /// handle it at this width).
+    /// Any generated multiplier is accepted by MT-LR through the `Session`
+    /// API, including the redundant-binary accumulator (which the seed engine
+    /// blew up on; the intermediate mod-2^(2n) dropping and level-greedy
+    /// substitution order handle it at this width).
     #[test]
     fn generated_multipliers_verify_with_mt_lr(spec in arb_spec(4)) {
         let netlist = spec.build();
-        let config = VerifyConfig { extract_counterexample: false, ..VerifyConfig::default() };
-        let report = verify_multiplier(&netlist, spec.width, Method::MtLr, &config);
+        let report = Session::extract(&netlist)
+            .expect("generated netlists are acyclic")
+            .spec(Spec::multiplier(spec.width))
+            .strategy(Method::MtLr)
+            .counterexamples(false)
+            .run()
+            .expect("multiplier interface");
         prop_assert!(report.outcome.is_verified(), "{}: {:?}", spec.name(), report.outcome);
     }
 
