@@ -18,6 +18,9 @@ fn bench_table1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("MT-LR", arch), &netlist, |b, nl| {
             b.iter(|| session_verify(nl, width, Method::MtLr));
         });
+        group.bench_with_input(BenchmarkId::new("MT-LR-PAR", arch), &netlist, |b, nl| {
+            b.iter(|| session_verify(nl, width, Method::MtLrPar));
+        });
     }
     // MT-FO only on the architecture it can handle (the paper's point: it
     // succeeds on SP-AR-RC and blows up on the parallel ones).

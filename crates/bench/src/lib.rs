@@ -86,6 +86,7 @@ impl HarnessConfig {
         Budget {
             max_terms: self.max_terms,
             deadline: Some(self.timeout),
+            threads: 0,
         }
     }
 }
@@ -189,11 +190,13 @@ pub fn run_algebraic(
 }
 
 /// Runs the comparison portfolio of the paper's Table I/II rows — the SAT
-/// miter baseline (`CEC`), MT-FO and MT-LR — against one extracted model.
+/// miter baseline (`CEC`), MT-FO, MT-LR, plus this repo's parallel
+/// output-cone engine (`MT-LR-PAR`) — against one extracted model.
 ///
 /// Per-strategy elapsed times exclude the (shared, amortized) Step-1 model
 /// extraction; counterexample search is disabled so a `FAIL` cell stays
-/// cheap.
+/// cheap. The parallel engine's worker count follows `GBMV_THREADS` (else
+/// the machine's parallelism) via [`Budget::effective_threads`].
 pub fn table_portfolio(arch: &str, width: usize, config: &HarnessConfig) -> PortfolioReport {
     let netlist = build_architecture(arch, width);
     Portfolio::extract(&netlist)
@@ -204,6 +207,7 @@ pub fn table_portfolio(arch: &str, width: usize, config: &HarnessConfig) -> Port
         .sat_baseline(Some(config.cec_conflicts))
         .method(Method::MtFo)
         .method(Method::MtLr)
+        .method(Method::MtLrPar)
         .run_all()
         .expect("generated netlists match the multiplier interface")
 }
@@ -227,6 +231,10 @@ pub struct BenchRecord {
     pub max_terms: usize,
     /// The wall-clock budget the run was given, in milliseconds.
     pub timeout_ms: u128,
+    /// Worker threads the strategy ran with (1 for the single-threaded
+    /// strategies; the resolved [`Budget::effective_threads`] for the
+    /// parallel engine).
+    pub threads: usize,
     /// `"ok"`, `"TO"` or `"FAIL"`.
     pub status: String,
 }
@@ -234,6 +242,13 @@ pub struct BenchRecord {
 impl BenchRecord {
     /// Builds a record from one portfolio strategy run.
     pub fn from_run(arch: &str, width: usize, run: &StrategyRun, config: &HarnessConfig) -> Self {
+        // Only the parallel engine fans out; every other strategy runs its
+        // phases on one thread.
+        let threads = if run.strategy == Method::MtLrPar.name() {
+            config.budget().effective_threads()
+        } else {
+            1
+        };
         BenchRecord {
             arch: arch.to_string(),
             width,
@@ -242,13 +257,14 @@ impl BenchRecord {
             peak_terms: run.stats.as_ref().map_or(0, |s| s.peak_terms()),
             max_terms: config.max_terms,
             timeout_ms: config.timeout.as_millis(),
+            threads,
             status: status_of(&run.outcome).to_string(),
         }
     }
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"status\": \"{}\"}}",
+            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"threads\": {}, \"status\": \"{}\"}}",
             self.arch,
             self.width,
             self.strategy,
@@ -256,6 +272,7 @@ impl BenchRecord {
             self.peak_terms,
             self.max_terms,
             self.timeout_ms,
+            self.threads,
             self.status
         )
     }
@@ -306,21 +323,29 @@ pub fn table3_architectures() -> Vec<&'static str> {
 pub fn print_comparison_header(title: &str) {
     println!("{title}");
     println!(
-        "{:<12} {:>7} {:>14} {:>14} {:>14}",
-        "Benchmark", "I/O", "CEC(SAT)", "MT-FO", "MT-LR"
+        "{:<12} {:>7} {:>14} {:>14} {:>14} {:>14}",
+        "Benchmark", "I/O", "CEC(SAT)", "MT-FO", "MT-LR", "MT-LR-PAR"
     );
 }
 
 /// Prints one row of a comparison table.
-pub fn print_comparison_row(arch: &str, width: usize, cec: &Cell, fo: &Cell, lr: &Cell) {
+pub fn print_comparison_row(
+    arch: &str,
+    width: usize,
+    cec: &Cell,
+    fo: &Cell,
+    lr: &Cell,
+    lr_par: &Cell,
+) {
     println!(
-        "{:<12} {:>3}/{:<3} {:>14} {:>14} {:>14}",
+        "{:<12} {:>3}/{:<3} {:>14} {:>14} {:>14} {:>14}",
         arch,
         width,
         2 * width,
         cec.display(),
         fo.display(),
-        lr.display()
+        lr.display(),
+        lr_par.display()
     );
 }
 
@@ -334,7 +359,14 @@ pub fn emit_comparison_row(
 ) {
     let report = table_portfolio(arch, width, config);
     let cell = |name: &str| Cell::from_run(report.get(name).expect("portfolio strategy"));
-    print_comparison_row(arch, width, &cell("CEC"), &cell("MT-FO"), &cell("MT-LR"));
+    print_comparison_row(
+        arch,
+        width,
+        &cell("CEC"),
+        &cell("MT-FO"),
+        &cell("MT-LR"),
+        &cell("MT-LR-PAR"),
+    );
     for run in &report.runs {
         records.push(BenchRecord::from_run(arch, width, run, config));
     }
@@ -380,7 +412,7 @@ mod tests {
             cec_conflicts: 100_000,
         };
         let report = table_portfolio("SP-AR-RC", 4, &config);
-        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.runs.len(), 4);
         for run in &report.runs {
             assert!(
                 run.outcome.is_verified(),
@@ -410,7 +442,7 @@ mod tests {
         let record = BenchRecord::from_run("SP-AR-RC", 8, &run, &config);
         assert_eq!(
             record.to_json(),
-            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"status\": \"ok\"}"
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
         );
         let dir = std::env::temp_dir().join("gbmv_bench_json_test");
         std::fs::create_dir_all(&dir).unwrap();

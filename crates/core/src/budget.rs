@@ -22,6 +22,11 @@ pub struct Budget {
     pub max_terms: usize,
     /// Wall-clock budget for the whole run; `None` means unlimited.
     pub deadline: Option<Duration>,
+    /// Worker threads available to parallel strategies
+    /// ([`crate::ParallelReduction`]); `0` means auto: the `GBMV_THREADS`
+    /// environment variable if set, otherwise the machine's available
+    /// parallelism. Single-threaded strategies ignore this knob.
+    pub threads: usize,
 }
 
 impl Default for Budget {
@@ -29,6 +34,7 @@ impl Default for Budget {
         Budget {
             max_terms: 10_000_000,
             deadline: Some(Duration::from_secs(600)),
+            threads: 0,
         }
     }
 }
@@ -39,6 +45,7 @@ impl Budget {
         Budget {
             max_terms: usize::MAX,
             deadline: None,
+            threads: 0,
         }
     }
 
@@ -52,6 +59,32 @@ impl Budget {
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Replaces the worker-thread count for parallel strategies (`0` = auto;
+    /// see [`Budget::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves [`Budget::threads`] to a concrete worker count: the explicit
+    /// value if non-zero, else the `GBMV_THREADS` environment variable, else
+    /// the machine's available parallelism (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(value) = std::env::var("GBMV_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     /// Starts the clock: creates a token whose deadline is now plus

@@ -20,7 +20,12 @@
 //! 3. **Gröbner basis reduction** ([`reduction`], pluggable via
 //!    [`ReductionStrategy`], Algorithm 1): the specification polynomial is
 //!    divided by the rewritten model; the circuit is correct iff the
-//!    remainder is zero (modulo `2^(2n)` for multipliers).
+//!    remainder is zero (modulo `2^(2n)` for multipliers). Two engines are
+//!    provided: the single-threaded greedy [`GbReduction`] and the
+//!    [`parallel`] output-cone engine ([`ParallelReduction`], preset
+//!    [`Method::MtLrPar`]), which decomposes the reduction along merged
+//!    output cones, runs it on a scoped worker pool, and recombines the
+//!    partial remainders deterministically.
 //!
 //! The user-facing entry point is the [`Session`] builder: extract once,
 //! choose a [`Spec`] and a strategy (a [`Method`] preset or custom
@@ -52,6 +57,7 @@
 mod budget;
 mod counterexample;
 mod model;
+pub mod parallel;
 mod portfolio;
 pub mod reduction;
 pub mod rewrite;
@@ -64,6 +70,7 @@ mod verify;
 pub use budget::{Budget, DeadlineToken};
 pub use counterexample::{Counterexample, InputBit};
 pub use model::{AlgebraicModel, ExtractError, GateFunction};
+pub use parallel::ParallelReduction;
 pub use portfolio::{Portfolio, PortfolioReport, StrategyRun};
 pub use reduction::{GbReduction, ReductionOutcome, ReductionStats};
 pub use rewrite::{RewriteConfig, RewriteStats, RewritingScheme};
@@ -74,5 +81,4 @@ pub use strategy::{
     ReductionStrategy, RewriteStrategy, XorRewrite,
 };
 pub use vanishing::{VanishingRules, VanishingTracker};
-#[allow(deprecated)]
-pub use verify::{verify_adder, verify_multiplier, Verifier, VerifyConfig};
+pub use verify::{Verifier, VerifyConfig};

@@ -233,6 +233,13 @@ impl AlgebraicModel {
         self.levels[v.index()]
     }
 
+    /// The number of variable slots of the model (one per net of the source
+    /// netlist); variable indices are strictly below this bound. Used to size
+    /// dense per-variable tables (levels, occurrence counts).
+    pub fn var_count(&self) -> usize {
+        self.names.len()
+    }
+
     /// The fanout count of a variable in the original netlist.
     pub fn fanout(&self, v: Var) -> usize {
         self.fanout[v.index()]

@@ -362,8 +362,15 @@ pub(crate) fn run_pipeline(
         }
     }
 
+    // Canonicalize the remainder modulo 2^k (not just drop zero terms): the
+    // fully reduced remainder is the unique multilinear normal form of the
+    // spec over the primary inputs, but engines that drop 2^k-multiples at
+    // different moments (whole-spec vs. per-cone reduction) can end with
+    // coefficients differing by multiples of 2^k. Reducing every coefficient
+    // into [0, 2^k) makes the reported remainder — and therefore the
+    // counterexample search — bit-identical across reduction strategies.
     let remainder = match modulus_bits {
-        Some(k) => remainder.drop_multiples_of_pow2(k),
+        Some(k) => remainder.mod_coeffs_pow2(k),
         None => remainder,
     };
     let outcome = if remainder.is_zero() {

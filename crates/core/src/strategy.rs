@@ -213,26 +213,35 @@ pub enum Method {
     /// Logic reduction rewriting (XOR + common rewriting with the XOR-AND
     /// vanishing rule) — the paper's contribution.
     MtLr,
+    /// MT-LR with the parallel output-cone reduction engine
+    /// ([`crate::ParallelReduction`]): logic-reduction rewriting, then the
+    /// Step-3 reduction decomposed per (merged) output cone and run on a
+    /// scoped worker pool sized by [`crate::Budget::threads`].
+    MtLrPar,
 }
 
 impl Method {
-    /// All methods, in the order the paper's tables list them.
-    pub fn all() -> [Method; 4] {
+    /// All methods: the paper's four in table order, then this repo's
+    /// parallel MT-LR variant.
+    pub fn all() -> [Method; 5] {
         [
             Method::MtNaive,
             Method::MtFo,
             Method::MtXorOnly,
             Method::MtLr,
+            Method::MtLrPar,
         ]
     }
 
-    /// Short display name matching the paper.
+    /// Short display name matching the paper (`MT-LR-PAR` for the parallel
+    /// engine, which the paper does not have).
     pub fn name(self) -> &'static str {
         match self {
             Method::MtNaive => "MT",
             Method::MtFo => "MT-FO",
             Method::MtXorOnly => "MT-XOR",
             Method::MtLr => "MT-LR",
+            Method::MtLrPar => "MT-LR-PAR",
         }
     }
 
@@ -242,7 +251,7 @@ impl Method {
             Method::MtNaive => Box::new(NoRewrite),
             Method::MtFo => Box::new(FanoutRewrite),
             Method::MtXorOnly => Box::new(XorRewrite),
-            Method::MtLr => Box::new(LogicReductionRewrite),
+            Method::MtLr | Method::MtLrPar => Box::new(LogicReductionRewrite),
         }
     }
 
@@ -251,6 +260,7 @@ impl Method {
         match self {
             Method::MtNaive | Method::MtFo => Box::new(GreedyReduction { vanishing: false }),
             Method::MtXorOnly | Method::MtLr => Box::new(GreedyReduction { vanishing: true }),
+            Method::MtLrPar => Box::new(crate::parallel::ParallelReduction::default()),
         }
     }
 }
@@ -269,7 +279,8 @@ mod tests {
     fn method_names_match_paper() {
         assert_eq!(Method::MtLr.name(), "MT-LR");
         assert_eq!(Method::MtFo.name(), "MT-FO");
-        assert_eq!(Method::all().len(), 4);
+        assert_eq!(Method::MtLrPar.name(), "MT-LR-PAR");
+        assert_eq!(Method::all().len(), 5);
         assert_eq!(format!("{}", Method::MtNaive), "MT");
     }
 
@@ -281,5 +292,10 @@ mod tests {
         assert_eq!(Method::MtFo.reduction_strategy().name(), "greedy");
         assert_eq!(Method::MtNaive.rewrite_strategy().name(), "none");
         assert_eq!(Method::MtXorOnly.rewrite_strategy().name(), "xor");
+        assert_eq!(Method::MtLrPar.rewrite_strategy().name(), "logic-reduction");
+        assert_eq!(
+            Method::MtLrPar.reduction_strategy().name(),
+            "parallel-cones+vanishing"
+        );
     }
 }

@@ -1,9 +1,10 @@
-//! The legacy low-level verification surface: [`Verifier`], [`VerifyConfig`]
-//! and the deprecated free functions.
+//! The low-level verification surface: [`Verifier`] and [`VerifyConfig`].
 //!
 //! New code should use [`crate::Session`] (and [`crate::Portfolio`] for
 //! multi-strategy runs); this module remains for callers that already hold a
 //! raw specification [`Polynomial`] and want to drive the pipeline directly.
+//! (The deprecated `verify_multiplier` / `verify_adder` shims over `Session`
+//! were removed one release after their deprecation, as announced.)
 
 use std::time::Duration;
 
@@ -12,14 +13,12 @@ use gbmv_poly::Polynomial;
 
 use crate::budget::Budget;
 use crate::model::{AlgebraicModel, ExtractError};
-use crate::session::{run_pipeline, CexContext, Progress, Report, Session};
-use crate::spec::Spec;
+use crate::session::{run_pipeline, CexContext, Progress, Report};
 use crate::strategy::{Method, PhaseContext};
 use crate::vanishing::VanishingRules;
 
 /// Resource limits and options of a verification run (the legacy analogue of
-/// [`Budget`] plus strategy options, consumed by [`Verifier::run`] and the
-/// deprecated free functions).
+/// [`Budget`] plus strategy options, consumed by [`Verifier::run`]).
 #[derive(Debug, Clone)]
 pub struct VerifyConfig {
     /// Abort when any polynomial (tail or remainder) exceeds this many terms.
@@ -65,6 +64,7 @@ impl VerifyConfig {
         Budget {
             max_terms: self.max_terms,
             deadline: Some(self.timeout),
+            threads: 0,
         }
     }
 }
@@ -73,7 +73,8 @@ impl VerifyConfig {
 /// algebraic model once and runs methods against raw specification
 /// polynomials.
 ///
-/// Prefer [`Session`] (typed [`Spec`]s, pluggable strategies, observers);
+/// Prefer [`crate::Session`] (typed [`crate::Spec`]s, pluggable strategies,
+/// observers);
 /// `Verifier` remains for flows that construct their own specification
 /// polynomial.
 #[derive(Debug, Clone)]
@@ -134,97 +135,12 @@ impl Verifier {
     }
 }
 
-/// Configures a [`Session`] like the legacy free functions did.
-fn legacy_session(netlist: &Netlist, spec: Spec, method: Method, config: &VerifyConfig) -> Session {
-    let spec = if config.modular {
-        spec
-    } else {
-        spec.with_modulus_bits(None)
-    };
-    Session::extract(netlist)
-        .expect("netlist must be acyclic")
-        .spec(spec)
-        .strategy(method)
-        .budget(config.budget())
-        .rules(config.rules)
-        .counterexamples(config.extract_counterexample)
-}
-
-/// Verifies that `netlist` implements the unsigned `width x width` multiplier
-/// specification `sum 2^i s_i = (sum 2^i a_i)(sum 2^i b_i) mod 2^(2*width)`.
-///
-/// # Panics
-///
-/// Panics if the interface does not match or the netlist is cyclic — use
-/// [`Session`] for error values instead of panics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Session::extract(netlist)?.spec(Spec::multiplier(width)).strategy(method).run()"
-)]
-pub fn verify_multiplier(
-    netlist: &Netlist,
-    width: usize,
-    method: Method,
-    config: &VerifyConfig,
-) -> Report {
-    let mut session = legacy_session(netlist, Spec::multiplier(width), method, config);
-    session
-        .run()
-        .expect("netlist interface must match the spec")
-}
-
-/// Verifies that `netlist` implements the unsigned `width`-bit adder
-/// specification (sum plus carry out).
-///
-/// # Panics
-///
-/// Panics if the interface does not match or the netlist is cyclic — use
-/// [`Session`] for error values instead of panics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Session::extract(netlist)?.spec(Spec::adder(width)).strategy(method).run()"
-)]
-pub fn verify_adder(
-    netlist: &Netlist,
-    width: usize,
-    with_carry_in: bool,
-    method: Method,
-    config: &VerifyConfig,
-) -> Report {
-    let spec = if with_carry_in {
-        Spec::adder_with_carry_in(width)
-    } else {
-        Spec::adder(width)
-    };
-    let mut session = legacy_session(netlist, spec, method, config);
-    session
-        .run()
-        .expect("netlist interface must match the spec")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::session::Outcome;
+    use crate::spec::Spec;
     use gbmv_genmul::MultiplierSpec;
-
-    /// The deprecated shims keep producing the same verdicts as the new API
-    /// for one release. (The stats layout did change with the redesign:
-    /// reduction-phase vanishing cancellations now live in
-    /// `stats.reduction.cancelled_vanishing`; use
-    /// `RunStats::cancelled_vanishing()` for the total `#CVM`.)
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_verify() {
-        let nl = MultiplierSpec::parse("SP-AR-RC", 4).unwrap().build();
-        let report = verify_multiplier(&nl, 4, Method::MtLr, &VerifyConfig::default());
-        assert!(report.outcome.is_verified(), "{:?}", report.outcome);
-        assert_eq!(report.strategy, "MT-LR");
-
-        let adder = gbmv_genmul::build_adder(4, gbmv_genmul::AdderKind::BrentKung, true);
-        let report = verify_adder(&adder, 4, true, Method::MtLr, &VerifyConfig::default());
-        assert!(report.outcome.is_verified());
-    }
 
     #[test]
     fn verifier_runs_raw_spec_polynomials() {

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cone;
 pub mod fault;
 pub mod format;
 mod gate;
 mod netlist;
 pub mod sim;
 
+pub use cone::{ConeDecomposition, OutputCone};
 pub use fault::{Fault, FaultKind};
 pub use format::{parse_netlist, write_netlist, ParseNetlistError};
 pub use gate::{Gate, GateKind};

@@ -69,7 +69,7 @@ pub mod spec;
 
 pub use int::Int;
 pub use monomial::{Monomial, Var, INLINE_VARS};
-pub use polynomial::Polynomial;
+pub use polynomial::{Polynomial, TermDelta};
 
 /// A `HashMap` keyed by the fast `ahash` hasher; use for every map on a hot
 /// path (term tables, model indices).

@@ -25,9 +25,12 @@ impl fmt::Display for Var {
 }
 
 /// Number of variables a [`Monomial`] stores inline before spilling to the
-/// heap. Gate tails and most reduction intermediates have low degree, so the
-/// common monomials (constants through degree 4) never allocate.
-pub const INLINE_VARS: usize = 4;
+/// heap. Reduction intermediates of the width-8 benchmarks reach degree
+/// ~2·width, so the capacity covers them: the expansion inner loop of the
+/// (parallel) reduction engines creates tens of millions of product
+/// monomials per run, and spilling them would cost a heap allocation and a
+/// pointer chase per hash-map equality check each.
+pub const INLINE_VARS: usize = 16;
 
 /// The variable storage of a monomial: inline up to [`INLINE_VARS`]
 /// variables, heap vector beyond.
@@ -272,8 +275,9 @@ impl Monomial {
     }
 }
 
-/// Stack-buffer size for [`Monomial::mul`] merges.
-const MERGE_BUF: usize = 16;
+/// Stack-buffer size for [`Monomial::mul`] merges; covers two inline-capacity
+/// factors so in-cache products never allocate.
+const MERGE_BUF: usize = 2 * INLINE_VARS;
 
 /// Merges two sorted duplicate-free slices into `out`, dropping duplicates
 /// across the inputs; returns the merged length. `out` must have room for
@@ -411,17 +415,18 @@ mod tests {
 
     #[test]
     fn mul_across_the_inline_boundary() {
-        let lo = Monomial::from_vars((0..4).map(Var));
-        let hi = Monomial::from_vars((2..9).map(Var));
+        let n = INLINE_VARS as u32;
+        let lo = Monomial::from_vars((0..n / 2).map(Var));
+        let hi = Monomial::from_vars((n / 2 - 1..n + 1).map(Var));
         let u = lo.mul(&hi);
-        assert_eq!(u, Monomial::from_vars((0..9).map(Var)));
+        assert_eq!(u, Monomial::from_vars((0..n + 1).map(Var)));
         assert!(u.is_spilled());
         // Large unions (past the merge stack buffer) still work.
-        let big_a = Monomial::from_vars((0..20).map(|i| Var(2 * i)));
-        let big_b = Monomial::from_vars((0..20).map(|i| Var(2 * i + 1)));
+        let big_a = Monomial::from_vars((0..3 * n).map(|i| Var(2 * i)));
+        let big_b = Monomial::from_vars((0..3 * n).map(|i| Var(2 * i + 1)));
         let big = big_a.mul(&big_b);
-        assert_eq!(big.degree(), 40);
-        assert_eq!(big, Monomial::from_vars((0..40).map(Var)));
+        assert_eq!(big.degree(), 6 * INLINE_VARS);
+        assert_eq!(big, Monomial::from_vars((0..6 * n).map(Var)));
     }
 
     #[test]

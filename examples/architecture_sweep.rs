@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Budget {
         max_terms: 1_000_000,
         deadline: Some(Duration::from_secs(20)),
+        threads: 0,
     };
     println!("MT-LR verification of all architectures at width {width} (time in ms):");
     println!(

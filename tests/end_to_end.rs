@@ -62,6 +62,7 @@ fn mt_fo_blows_up_where_mt_lr_succeeds() {
     let tight = Budget {
         max_terms: 2_000,
         deadline: Some(std::time::Duration::from_secs(300)),
+        threads: 0,
     };
     let complex = MultiplierSpec::parse("BP-WT-CL", width)
         .expect("architecture")

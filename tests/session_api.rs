@@ -98,8 +98,9 @@ fn custom_reduction_strategy_honours_budget() {
 }
 
 /// The portfolio reproduces Table I's MT-LR-vs-SAT comparison at width 4 in
-/// one call per architecture, with verdicts identical to the pre-redesign
-/// API (`verify_multiplier` / `check_against_product`).
+/// one call per architecture, with verdicts identical to standalone `Session`
+/// runs and the standalone SAT check. (This test previously compared against
+/// the deprecated `verify_multiplier` shim, which has since been removed.)
 #[test]
 fn portfolio_reproduces_table1_mtlr_vs_sat_at_width_4() {
     let width = 4;
@@ -111,30 +112,35 @@ fn portfolio_reproduces_table1_mtlr_vs_sat_at_width_4() {
             .expect("acyclic")
             .spec(Spec::multiplier(width))
             .method(Method::MtLr)
+            .method(Method::MtLrPar)
             .sat_baseline(None)
             .run_all()
             .expect("interface");
 
-        // Pre-redesign verdicts.
-        #[allow(deprecated)]
-        let legacy = gbmv::core::verify_multiplier(
-            &netlist,
-            width,
-            Method::MtLr,
-            &gbmv::core::VerifyConfig::default(),
-        );
-        let legacy_sat = check_against_product(&netlist, width, None);
+        // Standalone verdicts through the session API and the SAT miter.
+        let standalone = Session::extract(&netlist)
+            .expect("acyclic")
+            .spec(Spec::multiplier(width))
+            .strategy(Method::MtLr)
+            .run()
+            .expect("interface");
+        let standalone_sat = check_against_product(&netlist, width, None);
 
         let mtlr = report.get("MT-LR").expect("MT-LR run");
+        let mtlr_par = report.get("MT-LR-PAR").expect("MT-LR-PAR run");
         let cec = report.get("CEC").expect("CEC run");
         assert_eq!(
             mtlr.outcome.is_verified(),
-            legacy.outcome.is_verified(),
-            "{arch}: portfolio MT-LR verdict must match verify_multiplier"
+            standalone.outcome.is_verified(),
+            "{arch}: portfolio MT-LR verdict must match the standalone session"
+        );
+        assert_eq!(
+            mtlr.outcome, mtlr_par.outcome,
+            "{arch}: the parallel engine must agree with MT-LR"
         );
         assert_eq!(
             cec.outcome.is_verified(),
-            legacy_sat.is_equivalent(),
+            standalone_sat.is_equivalent(),
             "{arch}: portfolio CEC verdict must match check_against_product"
         );
         assert!(mtlr.outcome.is_verified(), "{arch}: {:?}", mtlr.outcome);
