@@ -19,6 +19,9 @@ fn main() {
     print_comparison_header("Table I: verification results for simple partial product multipliers");
     for &width in &config.widths {
         for arch in table1_architectures() {
+            if !config.selects(arch) {
+                continue;
+            }
             emit_comparison_row(arch, width, &config, &mut records);
         }
     }

@@ -18,6 +18,9 @@ fn main() {
     print_comparison_header("Table II: verification results for Booth partial product multipliers");
     for &width in &config.widths {
         for arch in table2_architectures() {
+            if !config.selects(arch) {
+                continue;
+            }
             emit_comparison_row(arch, width, &config, &mut records);
         }
     }

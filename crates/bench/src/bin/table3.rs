@@ -16,6 +16,9 @@ fn main() {
     );
     for &width in &config.widths {
         for arch in table3_architectures() {
+            if !config.selects(arch) {
+                continue;
+            }
             let (cell, report) = run_algebraic(arch, width, Method::MtLr, &config);
             let stats = &report.stats;
             println!(

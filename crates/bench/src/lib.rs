@@ -15,6 +15,8 @@
 //! * `GBMV_MAX_TERMS` — polynomial term limit (default `10000000`).
 //! * `GBMV_CEC_CONFLICTS` — conflict budget of the SAT miter baseline
 //!   (default `200000`).
+//! * `GBMV_ARCHS` — comma-separated architecture names; when set, a table
+//!   binary only runs the listed architectures (default: all of its table).
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -36,6 +38,8 @@ pub struct HarnessConfig {
     pub max_terms: usize,
     /// Conflict budget of the SAT miter baseline.
     pub cec_conflicts: u64,
+    /// Restrict the table binaries to these architectures (`None` = all).
+    pub archs: Option<Vec<String>>,
 }
 
 impl Default for HarnessConfig {
@@ -45,6 +49,7 @@ impl Default for HarnessConfig {
             timeout: Duration::from_secs(60),
             max_terms: 10_000_000,
             cec_conflicts: 200_000,
+            archs: None,
         }
     }
 }
@@ -78,7 +83,26 @@ impl HarnessConfig {
                 config.cec_conflicts = conflicts;
             }
         }
+        if let Ok(archs) = std::env::var("GBMV_ARCHS") {
+            let parsed: Vec<String> = archs
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(str::to_string)
+                .collect();
+            if !parsed.is_empty() {
+                config.archs = Some(parsed);
+            }
+        }
         config
+    }
+
+    /// Whether this configuration selects `arch` (true unless `GBMV_ARCHS`
+    /// names a different subset).
+    pub fn selects(&self, arch: &str) -> bool {
+        self.archs
+            .as_ref()
+            .is_none_or(|a| a.iter().any(|x| x == arch))
     }
 
     /// The per-run resource budget this configuration stands for.
@@ -190,8 +214,9 @@ pub fn run_algebraic(
 }
 
 /// Runs the comparison portfolio of the paper's Table I/II rows — the SAT
-/// miter baseline (`CEC`), MT-FO, MT-LR, plus this repo's parallel
-/// output-cone engine (`MT-LR-PAR`) — against one extracted model.
+/// miter baseline (`CEC`), MT-FO, MT-LR, plus this repo's incremental
+/// indexed engine (`MT-LR-IDX`) and parallel output-cone engine
+/// (`MT-LR-PAR`) — against one extracted model.
 ///
 /// Per-strategy elapsed times exclude the (shared, amortized) Step-1 model
 /// extraction; counterexample search is disabled so a `FAIL` cell stays
@@ -207,6 +232,7 @@ pub fn table_portfolio(arch: &str, width: usize, config: &HarnessConfig) -> Port
         .sat_baseline(Some(config.cec_conflicts))
         .method(Method::MtFo)
         .method(Method::MtLr)
+        .method(Method::MtLrIdx)
         .method(Method::MtLrPar)
         .run_all()
         .expect("generated netlists match the multiplier interface")
@@ -224,9 +250,17 @@ pub struct BenchRecord {
     pub strategy: String,
     /// Wall-clock time in milliseconds.
     pub elapsed_ms: u128,
-    /// Peak intermediate polynomial size over rewriting and reduction
-    /// (0 for the SAT baseline).
-    pub peak_terms: usize,
+    /// Peak intermediate polynomial size over rewriting and reduction;
+    /// `None` (serialized as `null`) for strategies that do not track terms,
+    /// such as the SAT baseline — a `0` would read as a measurement.
+    pub peak_terms: Option<usize>,
+    /// Number of substitution steps of the reduction phase; `None` for the
+    /// SAT baseline.
+    pub substitution_steps: Option<usize>,
+    /// Number of terms retrieved through the inverted var→term index;
+    /// `None` for the SAT baseline, `0` for the scan-based algebraic
+    /// engines.
+    pub index_hits: Option<u64>,
     /// The term budget the run was given.
     pub max_terms: usize,
     /// The wall-clock budget the run was given, in milliseconds.
@@ -254,7 +288,9 @@ impl BenchRecord {
             width,
             strategy: run.strategy.clone(),
             elapsed_ms: run.elapsed.as_millis(),
-            peak_terms: run.stats.as_ref().map_or(0, |s| s.peak_terms()),
+            peak_terms: run.stats.as_ref().map(|s| s.peak_terms()),
+            substitution_steps: run.stats.as_ref().map(|s| s.reduction.substitutions),
+            index_hits: run.stats.as_ref().map(|s| s.reduction.index_hits),
             max_terms: config.max_terms,
             timeout_ms: config.timeout.as_millis(),
             threads,
@@ -263,13 +299,18 @@ impl BenchRecord {
     }
 
     fn to_json(&self) -> String {
+        fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
+            v.as_ref().map_or_else(|| "null".to_string(), T::to_string)
+        }
         format!(
-            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"threads\": {}, \"status\": \"{}\"}}",
+            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"substitution_steps\": {}, \"index_hits\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"threads\": {}, \"status\": \"{}\"}}",
             self.arch,
             self.width,
             self.strategy,
             self.elapsed_ms,
-            self.peak_terms,
+            opt(&self.peak_terms),
+            opt(&self.substitution_steps),
+            opt(&self.index_hits),
             self.max_terms,
             self.timeout_ms,
             self.threads,
@@ -323,28 +364,31 @@ pub fn table3_architectures() -> Vec<&'static str> {
 pub fn print_comparison_header(title: &str) {
     println!("{title}");
     println!(
-        "{:<12} {:>7} {:>14} {:>14} {:>14} {:>14}",
-        "Benchmark", "I/O", "CEC(SAT)", "MT-FO", "MT-LR", "MT-LR-PAR"
+        "{:<12} {:>7} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "Benchmark", "I/O", "CEC(SAT)", "MT-FO", "MT-LR", "MT-LR-IDX", "MT-LR-PAR"
     );
 }
 
 /// Prints one row of a comparison table.
+#[allow(clippy::too_many_arguments)]
 pub fn print_comparison_row(
     arch: &str,
     width: usize,
     cec: &Cell,
     fo: &Cell,
     lr: &Cell,
+    lr_idx: &Cell,
     lr_par: &Cell,
 ) {
     println!(
-        "{:<12} {:>3}/{:<3} {:>14} {:>14} {:>14} {:>14}",
+        "{:<12} {:>3}/{:<3} {:>14} {:>14} {:>14} {:>14} {:>14}",
         arch,
         width,
         2 * width,
         cec.display(),
         fo.display(),
         lr.display(),
+        lr_idx.display(),
         lr_par.display()
     );
 }
@@ -365,6 +409,7 @@ pub fn emit_comparison_row(
         &cell("CEC"),
         &cell("MT-FO"),
         &cell("MT-LR"),
+        &cell("MT-LR-IDX"),
         &cell("MT-LR-PAR"),
     );
     for run in &report.runs {
@@ -397,6 +442,7 @@ mod tests {
             timeout: Duration::from_secs(30),
             max_terms: 500_000,
             cec_conflicts: 100_000,
+            archs: None,
         };
         let (cell, report) = run_algebraic("SP-AR-RC", 4, Method::MtLr, &config);
         assert_eq!(cell.status, "ok");
@@ -410,9 +456,10 @@ mod tests {
             timeout: Duration::from_secs(30),
             max_terms: 500_000,
             cec_conflicts: 100_000,
+            archs: None,
         };
         let report = table_portfolio("SP-AR-RC", 4, &config);
-        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.runs.len(), 5);
         for run in &report.runs {
             assert!(
                 run.outcome.is_verified(),
@@ -432,6 +479,7 @@ mod tests {
             timeout: Duration::from_secs(60),
             max_terms: 1_000_000,
             cec_conflicts: 1,
+            archs: None,
         };
         let run = StrategyRun {
             strategy: "CEC".to_string(),
@@ -440,9 +488,26 @@ mod tests {
             elapsed: Duration::from_millis(42),
         };
         let record = BenchRecord::from_run("SP-AR-RC", 8, &run, &config);
+        // The SAT baseline does not track terms: the term/step counters must
+        // serialize as `null`, not as a zero that reads like a measurement.
         assert_eq!(
             record.to_json(),
-            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": 0, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": null, \"substitution_steps\": null, \"index_hits\": null, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
+        );
+        let mut stats = gbmv_core::RunStats::default();
+        stats.reduction.peak_terms = 7;
+        stats.reduction.substitutions = 3;
+        stats.reduction.index_hits = 11;
+        let run = StrategyRun {
+            strategy: "MT-LR-IDX".to_string(),
+            outcome: Outcome::Verified,
+            stats: Some(stats),
+            elapsed: Duration::from_millis(42),
+        };
+        let record = BenchRecord::from_run("SP-AR-RC", 8, &run, &config);
+        assert_eq!(
+            record.to_json(),
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"MT-LR-IDX\", \"elapsed_ms\": 42, \"peak_terms\": 7, \"substitution_steps\": 3, \"index_hits\": 11, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
         );
         let dir = std::env::temp_dir().join("gbmv_bench_json_test");
         std::fs::create_dir_all(&dir).unwrap();

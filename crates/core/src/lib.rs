@@ -20,12 +20,15 @@
 //! 3. **Gröbner basis reduction** ([`reduction`], pluggable via
 //!    [`ReductionStrategy`], Algorithm 1): the specification polynomial is
 //!    divided by the rewritten model; the circuit is correct iff the
-//!    remainder is zero (modulo `2^(2n)` for multipliers). Two engines are
-//!    provided: the single-threaded greedy [`GbReduction`] and the
-//!    [`parallel`] output-cone engine ([`ParallelReduction`], preset
-//!    [`Method::MtLrPar`]), which decomposes the reduction along merged
-//!    output cones, runs it on a scoped worker pool, and recombines the
-//!    partial remainders deterministically.
+//!    remainder is zero (modulo `2^(2n)` for multipliers). Three engines are
+//!    provided: the scan-based reference [`GbReduction`], the incremental
+//!    indexed engine ([`IndexedReduction`], preset [`Method::MtLrIdx`]) whose
+//!    inverted var→term index makes each substitution step touch only the
+//!    affected terms, and the [`parallel`] output-cone engine
+//!    ([`ParallelReduction`], preset [`Method::MtLrPar`]), which decomposes
+//!    the same indexed reduction along merged output cones, runs it on a
+//!    scoped worker pool, and recombines the partial remainders
+//!    deterministically.
 //!
 //! The user-facing entry point is the [`Session`] builder: extract once,
 //! choose a [`Spec`] and a strategy (a [`Method`] preset or custom
@@ -72,7 +75,7 @@ pub use counterexample::{Counterexample, InputBit};
 pub use model::{AlgebraicModel, ExtractError, GateFunction};
 pub use parallel::ParallelReduction;
 pub use portfolio::{Portfolio, PortfolioReport, StrategyRun};
-pub use reduction::{GbReduction, ReductionOutcome, ReductionStats};
+pub use reduction::{GbReduction, IndexedReduction, ReductionOutcome, ReductionStats};
 pub use rewrite::{RewriteConfig, RewriteStats, RewritingScheme};
 pub use session::{Outcome, Phase, Progress, Report, RunStats, Session, SessionError};
 pub use spec::{Spec, SpecError};
@@ -80,5 +83,5 @@ pub use strategy::{
     FanoutRewrite, GreedyReduction, LogicReductionRewrite, Method, NoRewrite, PhaseContext,
     ReductionStrategy, RewriteStrategy, XorRewrite,
 };
-pub use vanishing::{VanishingRules, VanishingTracker};
+pub use vanishing::{ClosureVanishing, VanishScratch, VanishingRules, VanishingTracker};
 pub use verify::{Verifier, VerifyConfig};

@@ -1,4 +1,4 @@
-use gbmv_netlist::{analysis, GateKind, NetId, Netlist};
+use gbmv_netlist::{analysis, cone, GateKind, NetId, Netlist};
 use gbmv_poly::{FastMap, FastSet, Int, Monomial, Polynomial, Var};
 
 /// Why model extraction (Step 1 of the MT algorithm) failed.
@@ -74,6 +74,11 @@ pub struct AlgebraicModel {
     fanout: Vec<usize>,
     /// Structural gate definitions for the vanishing rule.
     gate_functions: FastMap<Var, GateFunction>,
+    /// Output-column support mask per variable index: bit `min(j, 63)` is
+    /// set when the variable lies in the backward cone of primary output
+    /// `j`. Drives the indexed engines' column-weight substitution order
+    /// and their column-retirement accounting.
+    column_reach: Vec<u64>,
     /// Net names, for diagnostics.
     names: Vec<String>,
 }
@@ -127,6 +132,7 @@ impl AlgebraicModel {
         let names = (0..netlist.net_count())
             .map(|i| netlist.net_name(NetId(i as u32)).to_string())
             .collect();
+        let column_reach = cone::output_column_masks(netlist);
         Ok(AlgebraicModel {
             tails,
             topo_order,
@@ -137,6 +143,7 @@ impl AlgebraicModel {
             output_set,
             fanout,
             gate_functions,
+            column_reach,
             names,
         })
     }
@@ -160,6 +167,19 @@ impl AlgebraicModel {
             }
         }
         self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// The output-column support mask of `v`: bit `min(j, 63)` is set when
+    /// `v` lies in the backward cone of primary output `j` (0 for variables
+    /// the extraction never saw). See
+    /// [`gbmv_netlist::cone::output_column_masks`].
+    pub fn column_mask(&self, v: Var) -> u64 {
+        self.column_reach.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Per-variable output-column support masks, indexed by `Var::index`.
+    pub fn column_masks(&self) -> &[u64] {
+        &self.column_reach
     }
 
     /// The tail polynomial of the gate polynomial whose leading variable is

@@ -17,16 +17,25 @@
 //!    bucket). Reduction is linear, so reducing the partials independently
 //!    and summing the partial remainders yields exactly the remainder of the
 //!    whole-spec reduction.
-//! 3. **Fused per-cone reduction.** Each partial is reduced by an engine that
-//!    keeps the greedy level-restricted substitution order of
-//!    [`crate::GbReduction`] but performs the substitution *in place*
-//!    (extracting only the terms that mention the substituted variable
-//!    instead of rebuilding the whole term table), checks the vanishing rules
-//!    on newly created monomials only (vanishing is a static property of a
-//!    monomial, so surviving terms never need re-checking), and maintains the
-//!    per-variable occurrence counts incrementally. For a single giant cone
-//!    the expansion of one substitution step is sharded over term ranges
-//!    across the worker threads.
+//! 3. **Fused indexed per-cone reduction.** Each partial is reduced by
+//!    [`FusedReduction`], which keeps the greedy level-restricted
+//!    substitution order of [`crate::GbReduction`] but stores the working
+//!    remainder in an [`IndexedPolynomial`]: an inverted var→term-handle
+//!    index makes each substitution step touch only the terms that actually
+//!    mention the substituted variable, coefficients are kept canonical
+//!    `mod 2^k` so modular cancellation happens at insert instead of in a
+//!    post-step sweep, and terms whose support is fully substituted retire
+//!    into an input-only accumulator (the incremental form of column-wise
+//!    spec reduction: once no live term mentions a tracked variable reaching
+//!    an output column, that column's terms never re-enter the hot path).
+//!    Ties in the greedy order are broken toward the lowest output column
+//!    ([`FusedReduction::column_order`]) so low columns retire early.
+//!    Vanishing is checked on newly created monomials only, through the
+//!    unit-propagation closure index ([`crate::ClosureVanishing`]), which
+//!    covers the paper's XOR-AND/NOR patterns as well as deeper
+//!    XOR-chain/majority contradictions. For a single giant cone the
+//!    expansion of one substitution step is sharded over term ranges across
+//!    the worker threads.
 //! 4. **Deterministic recombination.** Partial remainders are summed in cone
 //!    order. Integer term arithmetic is exact and the cone grouping, the
 //!    substitution order within each cone, and the vanishing/modular dropping
@@ -46,14 +55,13 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use gbmv_netlist::cone::group_overlapping_cones;
-use gbmv_netlist::GateKind;
-use gbmv_poly::{Int, Monomial, Polynomial, TermDelta, Var};
+use gbmv_poly::{IndexedPolynomial, Int, Monomial, Polynomial, Var};
 
 use crate::budget::DeadlineToken;
 use crate::model::AlgebraicModel;
 use crate::reduction::{ReductionOutcome, ReductionStats};
 use crate::strategy::{PhaseContext, ReductionStrategy};
-use crate::vanishing::VanishingRules;
+use crate::vanishing::{ClosureVanishing, VanishScratch};
 
 /// Shard the expansion of one substitution step across threads once it
 /// produces at least this many candidate product terms.
@@ -133,7 +141,8 @@ impl ReductionStrategy for ParallelReduction {
         };
         let vanish = self
             .vanishing
-            .then(|| DenseVanishing::new(model, ctx.rules));
+            .then(|| ClosureVanishing::new(model, ctx.rules))
+            .filter(ClosureVanishing::enabled);
 
         // Cone decomposition over the (rewritten) model + spec partitioning.
         let groups = cone_groups(model, self.merge_overlap);
@@ -157,6 +166,7 @@ impl ReductionStrategy for ParallelReduction {
             // schedules it — in exchange for not idling workers once the
             // small jobs drain.)
             shard_threads: threads.saturating_sub(jobs.len().saturating_sub(1)).max(1),
+            column_order: true,
         };
 
         let worker_count = threads.min(jobs.len()).max(1);
@@ -218,6 +228,8 @@ impl ReductionStrategy for ParallelReduction {
                     stats.substitutions += job_stats.substitutions;
                     stats.peak_terms = stats.peak_terms.max(job_stats.peak_terms);
                     stats.cancelled_vanishing += job_stats.cancelled_vanishing;
+                    stats.index_hits += job_stats.index_hits;
+                    stats.columns_retired += job_stats.columns_retired;
                     merge_outcome(&mut outcome, job_outcome.clone());
                     if matches!(job_outcome, ReductionOutcome::Completed) {
                         for (m, c) in remainder.iter() {
@@ -254,7 +266,7 @@ impl ReductionStrategy for ParallelReduction {
     }
 }
 
-type JobResult = (Polynomial, ReductionOutcome, ReductionStats);
+pub(crate) type JobResult = (Polynomial, ReductionOutcome, ReductionStats);
 
 /// One cone group's share of the specification.
 struct ConeJob {
@@ -385,160 +397,182 @@ fn partition_spec(
     (jobs, residual)
 }
 
-/// The fused per-cone reduction engine: greedy level-restricted substitution
-/// order (identical candidate rule to [`crate::GbReduction`]), in-place
-/// extraction substitution, vanishing checks on newly created monomials only,
-/// incrementally maintained occurrence counts, and optional term-range
-/// sharding of the expansion across scoped threads.
-struct FusedReduction<'a> {
-    model: &'a AlgebraicModel,
-    vanish: Option<&'a DenseVanishing>,
-    modulus_bits: Option<u32>,
-    max_terms: usize,
-    token: &'a DeadlineToken,
-    shard_threads: usize,
+/// The fused incremental reduction engine shared by [`ParallelReduction`]
+/// (per cone group) and [`crate::reduction::IndexedReduction`] (whole spec):
+/// greedy level-restricted substitution order (identical candidate rule to
+/// [`crate::GbReduction`], optionally tie-broken toward the lowest output
+/// column), an [`IndexedPolynomial`] working remainder whose inverted
+/// var→term index makes each step touch only the affected terms, canonical
+/// `mod 2^k` coefficients (modular cancellation at insert, no post-step
+/// sweep), retirement of fully-substituted (input-only) terms out of the hot
+/// path, closure-based vanishing checks on newly created monomials only, and
+/// optional term-range sharding of the expansion across scoped threads.
+pub(crate) struct FusedReduction<'a> {
+    pub(crate) model: &'a AlgebraicModel,
+    pub(crate) vanish: Option<&'a ClosureVanishing>,
+    pub(crate) modulus_bits: Option<u32>,
+    pub(crate) max_terms: usize,
+    pub(crate) token: &'a DeadlineToken,
+    pub(crate) shard_threads: usize,
+    /// Break greedy ties toward the variable reaching the lowest output
+    /// column, so low columns lose their support (and retire their terms)
+    /// early. Any tie-break yields the same final remainder — the rewritten
+    /// model stays a Gröbner basis, so the normal form is order-independent.
+    pub(crate) column_order: bool,
 }
 
 impl FusedReduction<'_> {
-    fn reduce(&self, partial: &Polynomial) -> JobResult {
+    pub(crate) fn reduce(&self, partial: &Polynomial) -> JobResult {
         let model = self.model;
         let mut stats = ReductionStats::default();
-        let mut r = partial.clone();
+        let mut scratch = self.vanish.map(ClosureVanishing::scratch);
+
         // The vanishing rules are applied to the incoming partial once;
         // afterwards only newly created monomials can vanish (the property is
         // static per monomial), so surviving terms are never re-checked.
-        if let Some(vanish) = self.vanish {
-            stats.cancelled_vanishing += r.retain_terms(|m| !vanish.vanishes(m)) as u64;
+        let mut initial = partial.clone();
+        if let (Some(van), Some(s)) = (self.vanish, scratch.as_mut()) {
+            stats.cancelled_vanishing += initial.retain_terms(|m| !van.vanishes(m, s)) as u64;
         }
-        if let Some(k) = self.modulus_bits {
-            r.retain_non_multiples_of_pow2(k);
-        }
-        stats.peak_terms = r.num_terms();
 
-        // Dense per-variable occurrence counts over the substitutable
-        // variables, maintained incrementally through every mutation of `r`.
+        // The substitutable variables: everything with a model tail. Inputs
+        // and tail-less variables are never substituted, so terms made only
+        // of those retire out of the indexed hot path.
         let tracked: Vec<bool> = (0..model.var_count())
             .map(|i| {
                 let v = Var(i as u32);
                 !model.is_input(v) && model.tail(v).is_some()
             })
             .collect();
-        let mut counts: Vec<u32> = vec![0; model.var_count()];
-        for (m, _) in r.iter() {
-            for u in m.vars() {
-                if tracked[u.index()] {
-                    counts[u.index()] += 1;
-                }
+
+        // Ingest into the indexed store: coefficients become canonical
+        // `mod 2^k` (multiples of `2^k` cancel at insert — the incremental
+        // form of the old post-step drop sweep), occurrence counts and the
+        // inverted index are maintained from here on by the store itself.
+        let mut r = IndexedPolynomial::from_polynomial(&initial, tracked, self.modulus_bits);
+        drop(initial);
+        stats.peak_terms = r.num_terms();
+
+        // Column retirement accounting: a column is "active" while some live
+        // term mentions a tracked variable reaching it, and "retires" when it
+        // loses its last such occurrence — from then on all of its terms are
+        // input-only and sit in the inert accumulator, outside the indexed
+        // hot path. The active mask is recomputed during the candidate scan
+        // (which already walks every occurrence count).
+        let mut active_cols = 0u64;
+        for (i, &occ) in r.occurrence_counts().iter().enumerate() {
+            if occ > 0 {
+                active_cols |= model.column_mask(Var(i as u32));
             }
         }
+        let mut retired_cols = 0u64;
+
+        let done = |r: IndexedPolynomial, outcome: ReductionOutcome, mut stats: ReductionStats| {
+            stats.index_hits = r.index_hits();
+            stats.final_terms = r.num_terms();
+            (r.into_polynomial(), outcome, stats)
+        };
 
         loop {
             // Candidate selection — the same rule as `GbReduction`: among the
             // variables of the highest present logic level, the smallest
             // estimated growth `occurrences x (tail size - 1)`, tie-broken by
-            // variable index.
-            let mut best: Option<(usize, usize, u32)> = None; // (level, growth, idx)
-            for (i, &occ) in counts.iter().enumerate() {
+            // variable index; with `column_order` the column weight ranks
+            // before the growth estimate.
+            let mut best: Option<(usize, u32, usize, u32)> = None; // (level, colw, growth, idx)
+            let mut next_active = 0u64;
+            for (i, &occ) in r.occurrence_counts().iter().enumerate() {
                 if occ == 0 {
                     continue;
                 }
                 let v = Var(i as u32);
                 let level = model.level(v);
+                let mask = model.column_mask(v);
+                next_active |= mask;
+                let colw = if self.column_order && mask != 0 {
+                    63 - mask.leading_zeros()
+                } else {
+                    0
+                };
                 let tail_terms = model.tail(v).map(Polynomial::num_terms).unwrap_or(0);
                 let growth = occ as usize * tail_terms.saturating_sub(1);
                 let replace = match best {
                     None => true,
-                    Some((bl, bg, bi)) => level > bl || (level == bl && (growth, v.0) < (bg, bi)),
+                    Some((bl, bc, bg, bi)) => {
+                        level > bl || (level == bl && (colw, growth, v.0) < (bc, bg, bi))
+                    }
                 };
                 if replace {
-                    best = Some((level, growth, v.0));
+                    best = Some((level, colw, growth, v.0));
                 }
             }
+            let newly_retired = active_cols & !next_active & !retired_cols;
+            stats.columns_retired += newly_retired.count_ones() as usize;
+            retired_cols |= newly_retired;
+            active_cols = next_active;
             let v = match best {
-                Some((_, _, idx)) => Var(idx),
+                Some((_, _, _, idx)) => Var(idx),
                 None => break,
             };
 
-            // In-place substitution: extract the terms mentioning `v`, expand
-            // them against the tail, and fold the products back in.
+            // In-place substitution through the inverted index: only the
+            // terms actually containing `v` are touched.
             let tail = model.tail(v).expect("candidate has a tail");
             let extracted = r.extract_terms_containing(v);
-            for (m, _) in &extracted {
-                for u in m.vars() {
-                    if tracked[u.index()] {
-                        counts[u.index()] -= 1;
-                    }
-                }
-            }
+
             let products = extracted.len() * tail.num_terms();
             let cancelled = if self.shard_threads > 1 && products >= SHARD_MIN_PRODUCTS {
-                self.expand_sharded(&mut r, &extracted, tail, v, &tracked, &mut counts)
+                self.expand_sharded(&mut r, &extracted, tail, v)
             } else {
-                self.expand_serial(&mut r, &extracted, tail, v, &tracked, &mut counts)
+                self.expand_serial(&mut r, &extracted, tail, v, scratch.as_mut())
             };
             let cancelled = match cancelled {
                 Some(c) => c,
-                None => {
-                    stats.final_terms = r.num_terms();
-                    return (r, ReductionOutcome::Cancelled, stats);
-                }
+                None => return done(r, ReductionOutcome::Cancelled, stats),
             };
             stats.cancelled_vanishing += cancelled;
             stats.substitutions += 1;
 
-            if let Some(k) = self.modulus_bits {
-                r.retain_terms_where(
-                    |_, c| !c.is_multiple_of_pow2(k),
-                    |m| {
-                        for u in m.vars() {
-                            if tracked[u.index()] {
-                                counts[u.index()] -= 1;
-                            }
-                        }
-                    },
-                );
-            }
             stats.peak_terms = stats.peak_terms.max(r.num_terms());
             if r.num_terms() > self.max_terms {
-                stats.final_terms = r.num_terms();
-                return (
-                    r,
-                    ReductionOutcome::LimitExceeded {
-                        terms: stats.peak_terms,
-                    },
-                    stats,
-                );
+                let outcome = ReductionOutcome::LimitExceeded {
+                    terms: stats.peak_terms,
+                };
+                return done(r, outcome, stats);
             }
             if self.token.is_cancelled() {
-                stats.final_terms = r.num_terms();
-                return (r, ReductionOutcome::Cancelled, stats);
+                return done(r, ReductionOutcome::Cancelled, stats);
             }
             if self.token.deadline_expired() {
-                stats.final_terms = r.num_terms();
-                return (r, ReductionOutcome::TimedOut, stats);
+                return done(r, ReductionOutcome::TimedOut, stats);
             }
         }
-        stats.final_terms = r.num_terms();
-        (r, ReductionOutcome::Completed, stats)
+        done(r, ReductionOutcome::Completed, stats)
     }
 
     /// Expands `extracted x tail` into `r`, checking the vanishing rules on
-    /// each product before it is materialized. Returns the number of
-    /// cancelled (vanishing) products, or `None` when the token fired
-    /// mid-step.
+    /// each product before it is materialized (when the extracted term's
+    /// `rest` already vanishes on its own, the whole tail expansion is
+    /// skipped). Returns the number of cancelled (vanishing) products, or
+    /// `None` when the token fired mid-step.
     fn expand_serial(
         &self,
-        r: &mut Polynomial,
+        r: &mut IndexedPolynomial,
         extracted: &[(Monomial, Int)],
         tail: &Polynomial,
         v: Var,
-        tracked: &[bool],
-        counts: &mut [u32],
+        mut scratch: Option<&mut VanishScratch>,
     ) -> Option<u64> {
         let mut cancelled = 0u64;
         let mut since_poll = 0usize;
         for (m, c) in extracted {
             let rest = m.without(v);
+            if let (Some(van), Some(s)) = (self.vanish, scratch.as_deref_mut()) {
+                if van.set_rest(&rest, s) {
+                    cancelled += tail.num_terms() as u64;
+                    continue;
+                }
+            }
             for (tm, tc) in tail.iter() {
                 since_poll += 1;
                 if since_poll >= CANCEL_POLL_INTERVAL {
@@ -547,15 +581,13 @@ impl FusedReduction<'_> {
                         return None;
                     }
                 }
-                if let Some(vanish) = self.vanish {
-                    if vanish.vanishes_union(tm, &rest) {
+                if let (Some(van), Some(s)) = (self.vanish, scratch.as_deref_mut()) {
+                    if van.rest_union_vanishes(tm, s) {
                         cancelled += 1;
                         continue;
                     }
                 }
-                r.add_term_observed(tm.mul(&rest), tc * c, |delta, m| {
-                    apply_delta(delta, m, tracked, counts)
-                });
+                r.add_term(tm.mul(&rest), tc * c);
             }
         }
         Some(cancelled)
@@ -563,18 +595,18 @@ impl FusedReduction<'_> {
 
     /// The sharded variant for the single-giant-cone case: the extracted
     /// terms are split into ranges, each worker expands its range into a
-    /// private partial, and the partials are folded into `r` afterwards.
-    /// Addition is exact and commutative, so the result (and the maintained
-    /// occurrence counts, which depend only on the final term table) is
-    /// bit-identical to the serial expansion.
+    /// private exact partial (with its own vanishing scratch), and the
+    /// partials are folded into `r` afterwards. Addition is exact and
+    /// commutative and the canonical `mod 2^k` residue of an exact sum
+    /// equals the residue of the canonical sum, so the resulting term table
+    /// (and hence the maintained occurrence counts) is bit-identical to the
+    /// serial expansion.
     fn expand_sharded(
         &self,
-        r: &mut Polynomial,
+        r: &mut IndexedPolynomial,
         extracted: &[(Monomial, Int)],
         tail: &Polynomial,
         v: Var,
-        tracked: &[bool],
-        counts: &mut [u32],
     ) -> Option<u64> {
         let shards = self.shard_threads.min(extracted.len()).max(1);
         let chunk = extracted.len().div_ceil(shards);
@@ -583,11 +615,18 @@ impl FusedReduction<'_> {
                 .chunks(chunk)
                 .map(|range| {
                     scope.spawn(move || {
+                        let mut scratch = self.vanish.map(ClosureVanishing::scratch);
                         let mut local = Polynomial::zero();
                         let mut cancelled = 0u64;
                         let mut since_poll = 0usize;
                         for (m, c) in range {
                             let rest = m.without(v);
+                            if let (Some(van), Some(s)) = (self.vanish, scratch.as_mut()) {
+                                if van.set_rest(&rest, s) {
+                                    cancelled += tail.num_terms() as u64;
+                                    continue;
+                                }
+                            }
                             for (tm, tc) in tail.iter() {
                                 since_poll += 1;
                                 if since_poll >= CANCEL_POLL_INTERVAL {
@@ -596,8 +635,8 @@ impl FusedReduction<'_> {
                                         return None;
                                     }
                                 }
-                                if let Some(vanish) = self.vanish {
-                                    if vanish.vanishes_union(tm, &rest) {
+                                if let (Some(van), Some(s)) = (self.vanish, scratch.as_mut()) {
+                                    if van.rest_union_vanishes(tm, s) {
                                         cancelled += 1;
                                         continue;
                                     }
@@ -619,128 +658,10 @@ impl FusedReduction<'_> {
             let (local, local_cancelled) = result?;
             cancelled += local_cancelled;
             for (m, c) in local.iter() {
-                r.add_term_observed(m.clone(), c.clone(), |delta, m| {
-                    apply_delta(delta, m, tracked, counts)
-                });
+                r.add_term(m.clone(), c.clone());
             }
         }
         Some(cancelled)
-    }
-}
-
-/// A dense-array mirror of [`crate::VanishingTracker`]'s structural index,
-/// tuned for the expansion inner loop: the per-variable lookups are plain
-/// vector indexing instead of hash probes, and the index is immutable so it
-/// is shared by all shard workers. The rules recognized are identical to the
-/// tracker's ([`crate::VanishingRules`]).
-struct DenseVanishing {
-    /// Per variable: the input pair `(a, b)` if the variable is the output of
-    /// a 2-input XOR gate.
-    xor_pair: Vec<Option<(Var, Var)>>,
-    /// Per XOR-output variable: AND outputs over the same input pair
-    /// (populated only when the `xor_and` rule is on; likewise `nor_mates`
-    /// for `xor_nor`).
-    and_mates: Vec<Vec<Var>>,
-    nor_mates: Vec<Vec<Var>>,
-    xor_both_inputs: bool,
-}
-
-impl DenseVanishing {
-    fn new(model: &AlgebraicModel, rules: VanishingRules) -> Self {
-        let n = model.var_count();
-        let mut xor_pair: Vec<Option<(Var, Var)>> = vec![None; n];
-        let mut and_by_pair: gbmv_poly::FastMap<(Var, Var), Vec<Var>> = Default::default();
-        let mut nor_by_pair: gbmv_poly::FastMap<(Var, Var), Vec<Var>> = Default::default();
-        for (&out, gf) in model.gate_functions() {
-            if gf.inputs.len() != 2 {
-                continue;
-            }
-            let pair = (gf.inputs[0], gf.inputs[1]);
-            match gf.kind {
-                GateKind::Xor => xor_pair[out.index()] = Some(pair),
-                GateKind::And if rules.xor_and => and_by_pair.entry(pair).or_default().push(out),
-                GateKind::Nor if rules.xor_nor => nor_by_pair.entry(pair).or_default().push(out),
-                _ => {}
-            }
-        }
-        let mates = |by_pair: &gbmv_poly::FastMap<(Var, Var), Vec<Var>>| -> Vec<Vec<Var>> {
-            let mut mates: Vec<Vec<Var>> = vec![Vec::new(); n];
-            for (i, pair) in xor_pair.iter().enumerate() {
-                if let Some(pair) = pair {
-                    if let Some(outs) = by_pair.get(pair) {
-                        mates[i] = outs.iter().copied().filter(|w| w.index() != i).collect();
-                    }
-                }
-            }
-            mates
-        };
-        DenseVanishing {
-            and_mates: mates(&and_by_pair),
-            nor_mates: mates(&nor_by_pair),
-            xor_pair,
-            xor_both_inputs: rules.xor_both_inputs,
-        }
-    }
-
-    /// Returns `true` if the monomial is structurally guaranteed to evaluate
-    /// to zero (same predicate as
-    /// [`crate::VanishingTracker::monomial_vanishes`]).
-    #[inline]
-    fn vanishes(&self, m: &Monomial) -> bool {
-        if m.degree() < 2 {
-            return false;
-        }
-        self.vanishes_in(m.vars(), |x| m.contains(x))
-    }
-
-    /// [`DenseVanishing::vanishes`] for the *product* of two monomials,
-    /// without materializing it: the product's variable set is the union of
-    /// the factors'. Lets the expansion loop skip building (and allocating)
-    /// monomials that are about to be cancelled anyway.
-    #[inline]
-    fn vanishes_union(&self, a: &Monomial, b: &Monomial) -> bool {
-        let contains = |x: Var| a.contains(x) || b.contains(x);
-        self.vanishes_in(a.vars().chain(b.vars()), contains)
-    }
-
-    #[inline]
-    fn vanishes_in(&self, vars: impl Iterator<Item = Var>, contains: impl Fn(Var) -> bool) -> bool {
-        for v in vars {
-            let i = v.index();
-            if let Some((a, b)) = self.xor_pair[i] {
-                if self.xor_both_inputs && contains(a) && contains(b) {
-                    return true;
-                }
-                if self.and_mates[i].iter().any(|&w| contains(w)) {
-                    return true;
-                }
-                if self.nor_mates[i].iter().any(|&w| contains(w)) {
-                    return true;
-                }
-            }
-        }
-        false
-    }
-}
-
-/// Applies a [`TermDelta`] from `r`'s term table to the occurrence counts.
-#[inline]
-fn apply_delta(delta: TermDelta, m: &Monomial, tracked: &[bool], counts: &mut [u32]) {
-    match delta {
-        TermDelta::Inserted => {
-            for u in m.vars() {
-                if tracked[u.index()] {
-                    counts[u.index()] += 1;
-                }
-            }
-        }
-        TermDelta::Cancelled => {
-            for u in m.vars() {
-                if tracked[u.index()] {
-                    counts[u.index()] -= 1;
-                }
-            }
-        }
     }
 }
 
@@ -786,6 +707,7 @@ mod tests {
                 "{threads} threads must reproduce the greedy remainder"
             );
             assert!(stats.substitutions > 0);
+            assert!(stats.index_hits > 0, "indexed extraction must be exercised");
         }
     }
 
@@ -802,6 +724,10 @@ mod tests {
         assert!(outcome.is_completed());
         assert!(r.is_zero(), "correct multiplier must verify");
         assert!(stats.cancelled_vanishing > 0);
+        assert!(
+            stats.columns_retired > 0,
+            "a completed reduction substitutes every cone's support"
+        );
     }
 
     #[test]

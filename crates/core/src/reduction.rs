@@ -12,6 +12,11 @@
 //! that intentionally diverging configurations (e.g. MT-FO on a Kogge-Stone
 //! multiplier) terminate with [`ReductionOutcome::LimitExceeded`] instead of
 //! exhausting memory.
+//!
+//! Two engines live here: the scan-based reference [`GbReduction`] (kept
+//! deliberately simple — it is the differential oracle the indexed engines
+//! are pinned against) and [`IndexedReduction`], the single-threaded preset
+//! of the incremental indexed engine shared with [`crate::parallel`].
 
 use std::time::{Duration, Instant};
 
@@ -59,6 +64,15 @@ pub struct ReductionStats {
     /// reduction* (the reduction-phase share of `#CVM`; zero unless
     /// [`GbReduction::reduce_with_vanishing`] is used).
     pub cancelled_vanishing: u64,
+    /// Number of terms the indexed engines retrieved through the inverted
+    /// var→term index (one per extracted term; zero for the scan-based
+    /// reference engine).
+    pub index_hits: u64,
+    /// Number of output columns that lost their last tracked-variable
+    /// occurrence during an indexed reduction (their remaining terms are
+    /// input-only and retire out of the indexed hot path; zero for the
+    /// scan-based reference engine).
+    pub columns_retired: usize,
     /// Wall-clock time of the reduction.
     pub elapsed: Duration,
 }
@@ -321,6 +335,86 @@ impl GbReduction {
         stats.final_terms = r.num_terms();
         stats.elapsed = start.elapsed();
         (r, ReductionOutcome::Completed, stats)
+    }
+}
+
+/// A [`crate::ReductionStrategy`] running the whole specification through
+/// the fused incremental engine of [`crate::parallel`] on a single worker:
+/// the working remainder lives in a [`gbmv_poly::IndexedPolynomial`] (inverted
+/// var→term index, canonical `mod 2^k` coefficients, retirement of
+/// fully-substituted terms) and vanishing is checked through the
+/// unit-propagation closure index ([`crate::ClosureVanishing`]).
+///
+/// The preset [`crate::Method::MtLrIdx`] pairs this engine with
+/// logic-reduction rewriting. The greedy candidate rule is the same as
+/// [`GbReduction`]'s, so for completed runs the remainder (and hence verdict
+/// and counterexample) is identical — the engines differ only in per-step
+/// cost. With [`IndexedReduction::column_order`] ties additionally break
+/// toward the lowest output column; the normal form is order-independent
+/// (the model is a Gröbner basis), so this changes intermediate sizes, never
+/// results.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexedReduction {
+    /// Apply the structural vanishing rules (closure index) during the
+    /// reduction (required for the logic-reduction methods).
+    pub vanishing: bool,
+    /// Break greedy ties toward the variable reaching the lowest output
+    /// column so low columns retire early.
+    pub column_order: bool,
+}
+
+impl Default for IndexedReduction {
+    fn default() -> Self {
+        IndexedReduction {
+            vanishing: true,
+            column_order: true,
+        }
+    }
+}
+
+impl crate::strategy::ReductionStrategy for IndexedReduction {
+    fn name(&self) -> &str {
+        if self.vanishing {
+            "indexed+vanishing"
+        } else {
+            "indexed"
+        }
+    }
+
+    fn reduce(
+        &self,
+        model: &AlgebraicModel,
+        spec: &Polynomial,
+        modulus_bits: Option<u32>,
+        ctx: &crate::strategy::PhaseContext,
+    ) -> (Polynomial, ReductionOutcome, ReductionStats) {
+        let start = Instant::now();
+        let vanish = self
+            .vanishing
+            .then(|| crate::vanishing::ClosureVanishing::new(model, ctx.rules))
+            .filter(crate::vanishing::ClosureVanishing::enabled);
+        let engine = crate::parallel::FusedReduction {
+            model,
+            vanish: vanish.as_ref(),
+            modulus_bits,
+            max_terms: ctx.budget.max_terms,
+            token: &ctx.token,
+            shard_threads: 1,
+            column_order: self.column_order,
+        };
+        let (r, outcome, mut stats) = engine.reduce(spec);
+        // A mid-step token stop reports `Cancelled` even when the deadline
+        // (not an explicit cancel) fired; normalize like the session driver.
+        let outcome = if matches!(outcome, ReductionOutcome::Cancelled)
+            && !ctx.token.is_cancelled()
+            && ctx.token.deadline_expired()
+        {
+            ReductionOutcome::TimedOut
+        } else {
+            outcome
+        };
+        stats.elapsed = start.elapsed();
+        (r, outcome, stats)
     }
 }
 

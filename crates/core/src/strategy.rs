@@ -213,6 +213,13 @@ pub enum Method {
     /// Logic reduction rewriting (XOR + common rewriting with the XOR-AND
     /// vanishing rule) — the paper's contribution.
     MtLr,
+    /// MT-LR with the single-threaded incremental indexed reduction engine
+    /// ([`crate::IndexedReduction`]): the working remainder lives in an
+    /// inverted var→term index so each substitution step touches only the
+    /// affected terms, and vanishing goes through the unit-propagation
+    /// closure index. Same remainders and verdicts as MT-LR, different
+    /// per-step cost.
+    MtLrIdx,
     /// MT-LR with the parallel output-cone reduction engine
     /// ([`crate::ParallelReduction`]): logic-reduction rewriting, then the
     /// Step-3 reduction decomposed per (merged) output cone and run on a
@@ -222,25 +229,27 @@ pub enum Method {
 
 impl Method {
     /// All methods: the paper's four in table order, then this repo's
-    /// parallel MT-LR variant.
-    pub fn all() -> [Method; 5] {
+    /// indexed and parallel MT-LR variants.
+    pub fn all() -> [Method; 6] {
         [
             Method::MtNaive,
             Method::MtFo,
             Method::MtXorOnly,
             Method::MtLr,
+            Method::MtLrIdx,
             Method::MtLrPar,
         ]
     }
 
-    /// Short display name matching the paper (`MT-LR-PAR` for the parallel
-    /// engine, which the paper does not have).
+    /// Short display name matching the paper (`MT-LR-IDX`/`MT-LR-PAR` for
+    /// the indexed and parallel engines, which the paper does not have).
     pub fn name(self) -> &'static str {
         match self {
             Method::MtNaive => "MT",
             Method::MtFo => "MT-FO",
             Method::MtXorOnly => "MT-XOR",
             Method::MtLr => "MT-LR",
+            Method::MtLrIdx => "MT-LR-IDX",
             Method::MtLrPar => "MT-LR-PAR",
         }
     }
@@ -251,7 +260,7 @@ impl Method {
             Method::MtNaive => Box::new(NoRewrite),
             Method::MtFo => Box::new(FanoutRewrite),
             Method::MtXorOnly => Box::new(XorRewrite),
-            Method::MtLr | Method::MtLrPar => Box::new(LogicReductionRewrite),
+            Method::MtLr | Method::MtLrIdx | Method::MtLrPar => Box::new(LogicReductionRewrite),
         }
     }
 
@@ -260,6 +269,7 @@ impl Method {
         match self {
             Method::MtNaive | Method::MtFo => Box::new(GreedyReduction { vanishing: false }),
             Method::MtXorOnly | Method::MtLr => Box::new(GreedyReduction { vanishing: true }),
+            Method::MtLrIdx => Box::new(crate::reduction::IndexedReduction::default()),
             Method::MtLrPar => Box::new(crate::parallel::ParallelReduction::default()),
         }
     }
@@ -279,8 +289,9 @@ mod tests {
     fn method_names_match_paper() {
         assert_eq!(Method::MtLr.name(), "MT-LR");
         assert_eq!(Method::MtFo.name(), "MT-FO");
+        assert_eq!(Method::MtLrIdx.name(), "MT-LR-IDX");
         assert_eq!(Method::MtLrPar.name(), "MT-LR-PAR");
-        assert_eq!(Method::all().len(), 5);
+        assert_eq!(Method::all().len(), 6);
         assert_eq!(format!("{}", Method::MtNaive), "MT");
     }
 
@@ -292,6 +303,11 @@ mod tests {
         assert_eq!(Method::MtFo.reduction_strategy().name(), "greedy");
         assert_eq!(Method::MtNaive.rewrite_strategy().name(), "none");
         assert_eq!(Method::MtXorOnly.rewrite_strategy().name(), "xor");
+        assert_eq!(Method::MtLrIdx.rewrite_strategy().name(), "logic-reduction");
+        assert_eq!(
+            Method::MtLrIdx.reduction_strategy().name(),
+            "indexed+vanishing"
+        );
         assert_eq!(Method::MtLrPar.rewrite_strategy().name(), "logic-reduction");
         assert_eq!(
             Method::MtLrPar.reduction_strategy().name(),

@@ -1,0 +1,590 @@
+//! An incrementally indexed term store for the backward-rewriting hot loop.
+//!
+//! [`IndexedPolynomial`] holds the same term multiset as a [`Polynomial`]
+//! but adds the three structures the reduction engine needs to make each
+//! substitution step proportional to the *affected* term set instead of the
+//! whole polynomial:
+//!
+//! 1. **An inverted var→term-handle index.** For every *tracked* variable
+//!    (a substitutable gate output), the store keeps a list of slot handles
+//!    of terms whose monomial contains that variable, so
+//!    [`IndexedPolynomial::extract_terms_containing`] drains exactly the
+//!    affected terms with no full-table scan.
+//! 2. **Canonical mod-`2^k` coefficients.** With a modulus configured,
+//!    coefficients are stored in `[0, 2^k)` and terms whose coefficient is
+//!    congruent to zero cancel *at insertion time*, replacing the old
+//!    post-step "drop multiples of `2^k`" sweep over every term.
+//! 3. **A retirement accumulator.** Terms whose monomial contains no
+//!    tracked variable can never be extracted again; they are routed to a
+//!    separate accumulator where they still merge and cancel against each
+//!    other, but are never touched by the per-step index maintenance.
+//!
+//! # Index invariants
+//!
+//! * Every live term whose monomial contains a tracked variable `v` has at
+//!   least one handle in `v`'s index list. Lists may additionally contain
+//!   *stale* handles (the term was cancelled or extracted, and its slot may
+//!   have been reused); staleness is detected at drain time by re-checking
+//!   that the slot is live *and* its monomial still contains `v`.
+//! * The lookup table addresses terms by their cached monomial hash, so the
+//!   monomial bytes are stored exactly once (in the slot arena).
+//! * With a modulus `2^k`, a term is present iff its exact coefficient is
+//!   not a multiple of `2^k`; the stored coefficient is the canonical
+//!   representative in `[0, 2^k)`. Without a modulus, arithmetic is exact.
+//!
+//! Under the engine's level-restricted substitution order every tracked
+//! variable is drained at most once, so index maintenance is amortized
+//! `O(1)` per inserted term per tracked variable it contains.
+
+use crate::{FastMap, Int, Monomial, Polynomial, Var};
+
+/// Bucket marker: no entry was ever stored here (probe chains stop).
+const EMPTY: u32 = u32::MAX;
+/// Bucket marker: an entry was removed here (probe chains continue).
+const TOMB: u32 = u32::MAX - 1;
+
+/// A term store with an inverted var→term index, optional canonical
+/// mod-`2^k` coefficients, and an accumulator that retires terms no longer
+/// reachable by any substitution. See the [module docs](self) for the
+/// invariants.
+#[derive(Debug, Clone)]
+pub struct IndexedPolynomial {
+    /// Slot arena: `None` slots are free (their ids are on `free`).
+    slots: Vec<Option<(Monomial, Int)>>,
+    /// Free list of reusable slot ids.
+    free: Vec<u32>,
+    /// Open-addressing lookup table of slot ids, probed linearly by the
+    /// monomial's cached hash. Only live (indexed) terms appear here.
+    buckets: Vec<u32>,
+    /// Live entries in `buckets`.
+    items: usize,
+    /// Tombstones in `buckets`.
+    tombs: usize,
+    /// Per-variable handle lists; non-empty only for tracked variables.
+    var_index: Vec<Vec<u32>>,
+    /// Which variables are tracked (substitutable); indexed by `Var::index`.
+    tracked: Vec<bool>,
+    /// Live-term occurrence counts per variable (tracked variables only).
+    counts: Vec<u32>,
+    /// Terms with no tracked variable: they merge and cancel against each
+    /// other but are exempt from all index maintenance.
+    inert: FastMap<Monomial, Int>,
+    /// When `Some(k)`, coefficients are canonical mod `2^k`.
+    modulus_bits: Option<u32>,
+    /// Terms retrieved through the inverted index by
+    /// [`extract_terms_containing`](Self::extract_terms_containing).
+    index_hits: u64,
+}
+
+impl IndexedPolynomial {
+    /// Creates an empty store. `tracked[v.index()]` marks the substitutable
+    /// variables; variables at or beyond `tracked.len()` are untracked.
+    /// With `modulus_bits = Some(k)`, coefficients are kept canonical mod
+    /// `2^k` and terms cancel as soon as their coefficient is a multiple of
+    /// `2^k`.
+    pub fn new(tracked: Vec<bool>, modulus_bits: Option<u32>) -> IndexedPolynomial {
+        let n = tracked.len();
+        IndexedPolynomial {
+            slots: Vec::new(),
+            free: Vec::new(),
+            buckets: vec![EMPTY; 64],
+            items: 0,
+            tombs: 0,
+            var_index: vec![Vec::new(); n],
+            tracked,
+            counts: vec![0; n],
+            inert: FastMap::default(),
+            modulus_bits,
+            index_hits: 0,
+        }
+    }
+
+    /// Builds the store from an existing polynomial (used once per
+    /// reduction to ingest the rewritten specification).
+    pub fn from_polynomial(
+        p: &Polynomial,
+        tracked: Vec<bool>,
+        modulus_bits: Option<u32>,
+    ) -> IndexedPolynomial {
+        let mut ix = IndexedPolynomial::new(tracked, modulus_bits);
+        for (m, c) in p.iter() {
+            ix.add_term(m.clone(), c.clone());
+        }
+        ix
+    }
+
+    /// The modulus (in bits) coefficients are canonicalized to, if any.
+    pub fn modulus_bits(&self) -> Option<u32> {
+        self.modulus_bits
+    }
+
+    /// Number of present terms (live + retired accumulator).
+    pub fn num_terms(&self) -> usize {
+        self.live_terms() + self.inert.len()
+    }
+
+    /// Number of live (indexed) terms, i.e. terms still containing at
+    /// least one tracked variable.
+    pub fn live_terms(&self) -> usize {
+        self.items
+    }
+
+    /// Number of retired terms (no tracked variable left).
+    pub fn retired_terms(&self) -> usize {
+        self.inert.len()
+    }
+
+    /// `true` when no term is present at all.
+    pub fn is_zero(&self) -> bool {
+        self.num_terms() == 0
+    }
+
+    /// Occurrence count of `v` across live terms (0 for untracked
+    /// variables, whose occurrences are not maintained).
+    pub fn occurrences(&self, v: Var) -> u32 {
+        self.counts.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Per-variable live occurrence counts, indexed by `Var::index`
+    /// (meaningful for tracked variables only).
+    pub fn occurrence_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Terms retrieved through the inverted index so far.
+    pub fn index_hits(&self) -> u64 {
+        self.index_hits
+    }
+
+    fn canon(&self, c: Int) -> Int {
+        match self.modulus_bits {
+            Some(k) => c.mod_pow2(k),
+            None => c,
+        }
+    }
+
+    fn is_tracked(&self, v: Var) -> bool {
+        self.tracked.get(v.index()).copied().unwrap_or(false)
+    }
+
+    fn has_tracked(&self, m: &Monomial) -> bool {
+        m.vars().any(|v| self.is_tracked(v))
+    }
+
+    /// Adds `coeff * monomial`, merging with an existing term and removing
+    /// it when the (canonical) coefficient reaches zero.
+    pub fn add_term(&mut self, monomial: Monomial, coeff: Int) {
+        let coeff = self.canon(coeff);
+        if coeff.is_zero() {
+            return;
+        }
+        // Live terms (the only ones in the lookup table) are checked first;
+        // a miss for a monomial with a tracked variable is a fresh insert.
+        match self.find_bucket(&monomial) {
+            FindResult::Found(bucket) => {
+                let id = self.buckets[bucket] as usize;
+                let modulus = self.modulus_bits;
+                let slot = self.slots[id].as_mut().expect("bucket points at live slot");
+                slot.1 += &coeff;
+                if let Some(k) = modulus {
+                    slot.1 = slot.1.mod_pow2(k);
+                }
+                let cancelled = slot.1.is_zero();
+                if cancelled {
+                    self.remove_bucket(bucket);
+                }
+            }
+            FindResult::Absent(bucket) => {
+                if self.has_tracked(&monomial) {
+                    self.insert_live(bucket, monomial, coeff);
+                } else {
+                    self.add_inert(monomial, coeff);
+                }
+            }
+        }
+    }
+
+    fn add_inert(&mut self, monomial: Monomial, coeff: Int) {
+        use std::collections::hash_map::Entry;
+        match self.inert.entry(monomial) {
+            Entry::Occupied(mut e) => {
+                let sum = match self.modulus_bits {
+                    Some(k) => (e.get() + &coeff).mod_pow2(k),
+                    None => e.get() + &coeff,
+                };
+                if sum.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = sum;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(coeff);
+            }
+        }
+    }
+
+    /// Drains every term containing `v` through the inverted index,
+    /// removing the terms from the store and returning them. Only tracked
+    /// variables have an index; for untracked variables this returns an
+    /// empty vector (such terms are never extracted by the engine).
+    pub fn extract_terms_containing(&mut self, v: Var) -> Vec<(Monomial, Int)> {
+        let Some(list) = self.var_index.get_mut(v.index()) else {
+            return Vec::new();
+        };
+        let handles = std::mem::take(list);
+        let mut out = Vec::with_capacity(handles.len());
+        for id in handles {
+            // Stale handles: the slot died, or was reused by a monomial
+            // that does not contain `v`. (A reused slot whose monomial
+            // *does* contain `v` is a legitimate drain target — the reuse
+            // also pushed a fresh handle, which will later be skipped as
+            // stale.)
+            let live_with_v = matches!(
+                self.slots.get(id as usize).and_then(Option::as_ref),
+                Some((m, _)) if m.contains(v)
+            );
+            if !live_with_v {
+                continue;
+            }
+            let (m, c) = self.remove_slot(id);
+            self.index_hits += 1;
+            out.push((m, c));
+        }
+        out
+    }
+
+    /// Consumes the store and reassembles a plain [`Polynomial`] (live
+    /// terms plus the retirement accumulator; the two sets are disjoint by
+    /// construction).
+    pub fn into_polynomial(self) -> Polynomial {
+        Polynomial::from_terms(self.slots.into_iter().flatten().chain(self.inert))
+    }
+
+    fn insert_live(&mut self, bucket: usize, monomial: Monomial, coeff: Int) {
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some((monomial, coeff));
+                id
+            }
+            None => {
+                let id = u32::try_from(self.slots.len()).expect("term handle overflow");
+                self.slots.push(Some((monomial, coeff)));
+                id
+            }
+        };
+        if self.buckets[bucket] == TOMB {
+            self.tombs -= 1;
+        }
+        self.buckets[bucket] = id;
+        self.items += 1;
+        let (m, _) = self.slots[id as usize].as_ref().expect("just inserted");
+        for v in m.vars() {
+            if self.tracked.get(v.index()).copied().unwrap_or(false) {
+                self.counts[v.index()] += 1;
+                self.var_index[v.index()].push(id);
+            }
+        }
+        self.maybe_grow();
+    }
+
+    /// Removes the entry at `bucket`, freeing its slot and updating counts.
+    fn remove_bucket(&mut self, bucket: usize) -> (Monomial, Int) {
+        let id = self.buckets[bucket];
+        self.buckets[bucket] = TOMB;
+        self.items -= 1;
+        self.tombs += 1;
+        let (m, c) = self.slots[id as usize].take().expect("live slot");
+        self.free.push(id);
+        for v in m.vars() {
+            if self.tracked.get(v.index()).copied().unwrap_or(false) {
+                self.counts[v.index()] -= 1;
+            }
+        }
+        (m, c)
+    }
+
+    /// Removes a live slot by id (the bucket is located by re-probing the
+    /// cached hash; live slots are always in the table).
+    fn remove_slot(&mut self, id: u32) -> (Monomial, Int) {
+        let hash = self.slots[id as usize]
+            .as_ref()
+            .expect("live slot")
+            .0
+            .cached_hash();
+        let mask = self.buckets.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            if self.buckets[i] == id {
+                return self.remove_bucket(i);
+            }
+            debug_assert_ne!(self.buckets[i], EMPTY, "live slot missing from table");
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn find_bucket(&self, m: &Monomial) -> FindResult {
+        let mask = self.buckets.len() - 1;
+        let mut i = (m.cached_hash() as usize) & mask;
+        let mut first_tomb = None;
+        loop {
+            match self.buckets[i] {
+                EMPTY => return FindResult::Absent(first_tomb.unwrap_or(i)),
+                TOMB => {
+                    if first_tomb.is_none() {
+                        first_tomb = Some(i);
+                    }
+                }
+                id => {
+                    let (sm, _) = self.slots[id as usize]
+                        .as_ref()
+                        .expect("bucket points at live slot");
+                    if sm.cached_hash() == m.cached_hash() && sm == m {
+                        return FindResult::Found(i);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn maybe_grow(&mut self) {
+        // Keep the table at most 7/8 full counting tombstones, so probe
+        // chains stay short and always terminate at an `EMPTY`.
+        if (self.items + self.tombs) * 8 <= self.buckets.len() * 7 {
+            return;
+        }
+        let new_len = (self.items * 2).next_power_of_two().max(64);
+        let mut buckets = vec![EMPTY; new_len];
+        let mask = new_len - 1;
+        for (id, slot) in self.slots.iter().enumerate() {
+            let Some((m, _)) = slot else { continue };
+            let mut i = (m.cached_hash() as usize) & mask;
+            while buckets[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            buckets[i] = id as u32;
+        }
+        self.buckets = buckets;
+        self.tombs = 0;
+    }
+
+    /// Checks every index invariant against a from-scratch reconstruction,
+    /// panicking on any violation. Test support: quadratic in the number of
+    /// terms, never call it from production code.
+    pub fn assert_consistent(&self) {
+        let mut live = 0usize;
+        let mut counts = vec![0u32; self.counts.len()];
+        for (id, slot) in self.slots.iter().enumerate() {
+            let Some((m, c)) = slot else { continue };
+            live += 1;
+            assert!(!c.is_zero(), "stored zero coefficient");
+            if let Some(k) = self.modulus_bits {
+                assert_eq!(*c, c.mod_pow2(k), "non-canonical coefficient");
+            }
+            assert!(
+                self.has_tracked(m),
+                "live slot holds a term with no tracked variable"
+            );
+            let mut indexed = false;
+            for v in m.vars() {
+                if self.is_tracked(v) {
+                    counts[v.index()] += 1;
+                    assert!(
+                        self.var_index[v.index()].contains(&(id as u32)),
+                        "live term missing from the index of {v:?}"
+                    );
+                    indexed = true;
+                }
+            }
+            assert!(indexed);
+            match self.find_bucket(m) {
+                FindResult::Found(b) => assert_eq!(self.buckets[b], id as u32),
+                FindResult::Absent(_) => panic!("live term unreachable through the table"),
+            }
+        }
+        assert_eq!(live, self.items, "live-term count drifted");
+        assert_eq!(counts, self.counts, "occurrence counts drifted");
+        for (m, c) in &self.inert {
+            assert!(!c.is_zero(), "retired zero coefficient");
+            if let Some(k) = self.modulus_bits {
+                assert_eq!(*c, c.mod_pow2(k), "non-canonical retired coefficient");
+            }
+            assert!(
+                !self.has_tracked(m),
+                "retired term still contains a tracked variable"
+            );
+        }
+    }
+}
+
+enum FindResult {
+    /// The monomial is present; its bucket index.
+    Found(usize),
+    /// The monomial is absent; the bucket where it would be inserted.
+    Absent(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mono(vars: &[u32]) -> Monomial {
+        Monomial::from_vars(vars.iter().map(|&v| Var(v)))
+    }
+
+    fn tracked(n: usize, which: &[u32]) -> Vec<bool> {
+        let mut t = vec![false; n];
+        for &v in which {
+            t[v as usize] = true;
+        }
+        t
+    }
+
+    #[test]
+    fn insert_merge_cancel_roundtrip() {
+        let mut ix = IndexedPolynomial::new(tracked(4, &[2, 3]), None);
+        ix.add_term(mono(&[0, 2]), Int::from(3));
+        ix.add_term(mono(&[0, 2]), Int::from(-1));
+        ix.add_term(mono(&[0, 1]), Int::from(5)); // no tracked var → retired
+        ix.add_term(mono(&[3]), Int::from(7));
+        assert_eq!(ix.live_terms(), 2);
+        assert_eq!(ix.retired_terms(), 1);
+        assert_eq!(ix.occurrences(Var(2)), 1);
+        ix.assert_consistent();
+        ix.add_term(mono(&[0, 2]), Int::from(-2)); // cancels to zero
+        assert_eq!(ix.num_terms(), 2);
+        ix.assert_consistent();
+        let p = ix.into_polynomial();
+        assert_eq!(p.coeff(&mono(&[0, 1])), Int::from(5));
+        assert_eq!(p.coeff(&mono(&[3])), Int::from(7));
+        assert_eq!(p.num_terms(), 2);
+    }
+
+    #[test]
+    fn extract_drains_exactly_the_affected_terms() {
+        let mut ix = IndexedPolynomial::new(tracked(5, &[3, 4]), None);
+        ix.add_term(mono(&[0, 3]), Int::from(1));
+        ix.add_term(mono(&[1, 3, 4]), Int::from(2));
+        ix.add_term(mono(&[4]), Int::from(3));
+        let mut got = ix.extract_terms_containing(Var(3));
+        got.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            got,
+            vec![
+                (mono(&[0, 3]), Int::from(1)),
+                (mono(&[1, 3, 4]), Int::from(2)),
+            ]
+        );
+        assert_eq!(ix.index_hits(), 2);
+        assert_eq!(ix.occurrences(Var(4)), 1);
+        assert_eq!(ix.num_terms(), 1);
+        ix.assert_consistent();
+        // The drained index stays empty until new terms arrive.
+        assert!(ix.extract_terms_containing(Var(3)).is_empty());
+    }
+
+    #[test]
+    fn stale_handles_from_slot_reuse_are_skipped() {
+        let mut ix = IndexedPolynomial::new(tracked(4, &[1, 2]), None);
+        ix.add_term(mono(&[1]), Int::from(1));
+        ix.add_term(mono(&[1]), Int::from(-1)); // frees the slot
+                                                // Reuses the freed slot: var 1's list still holds the stale handle,
+                                                // now pointing at a live slot whose monomial does not contain var 1.
+        ix.add_term(mono(&[2]), Int::from(1));
+        assert!(ix.extract_terms_containing(Var(1)).is_empty());
+        assert_eq!(ix.num_terms(), 1);
+        ix.assert_consistent();
+    }
+
+    #[test]
+    fn modulus_cancels_terms_at_insert() {
+        let mut ix = IndexedPolynomial::new(tracked(3, &[0]), Some(3));
+        ix.add_term(mono(&[0]), Int::from(5));
+        ix.add_term(mono(&[0]), Int::from(3)); // 5 + 3 = 8 ≡ 0 (mod 8)
+        assert!(ix.is_zero());
+        ix.add_term(mono(&[0, 1]), Int::from(-1)); // canonicalized to 7
+        ix.add_term(mono(&[1]), Int::from(16)); // retired path: ≡ 0, dropped
+        assert_eq!(ix.num_terms(), 1);
+        let p = ix.into_polynomial();
+        assert_eq!(p.coeff(&mono(&[0, 1])), Int::from(7));
+        // Retired-path merge to zero.
+        let mut ix = IndexedPolynomial::new(tracked(3, &[0]), Some(3));
+        ix.add_term(mono(&[1]), Int::from(3));
+        ix.add_term(mono(&[1]), Int::from(5));
+        assert!(ix.is_zero());
+        ix.assert_consistent();
+    }
+
+    proptest! {
+        /// The inverted index stays consistent with a from-scratch rebuild
+        /// (a plain `Polynomial`) under arbitrary interleavings of
+        /// `add_term`, `extract_terms_containing`, and coefficient
+        /// cancellation to zero — with and without a coefficient modulus.
+        #[test]
+        fn index_matches_scratch_rebuild_under_interleavings(
+            ops in proptest::collection::vec(
+                (0u32..8, proptest::collection::vec(0u32..5, 0..4), -4i64..5),
+                1..40,
+            ),
+            modulus_k in 0u32..4,
+        ) {
+            for modulus in [None, Some(modulus_k + 1)] {
+                let mut ix = IndexedPolynomial::new(tracked(5, &[0, 1, 2]), modulus);
+                let mut reference = Polynomial::zero();
+                for (sel, vars, c) in &ops {
+                    if *sel < 6 {
+                        let m = Monomial::from_vars(vars.iter().map(|&v| Var(v)));
+                        ix.add_term(m.clone(), Int::from(*c));
+                        reference.add_term(m, Int::from(*c));
+                    } else {
+                        // Extraction is only defined for tracked variables.
+                        let v = Var(vars.first().copied().unwrap_or(*sel - 6).min(2));
+                        let mut got = ix.extract_terms_containing(v);
+                        // The reference stores exact coefficients; terms
+                        // whose coefficient is a multiple of the modulus
+                        // are absent from the indexed store by invariant.
+                        let mut want: Vec<(Monomial, Int)> = reference
+                            .extract_terms_containing(v)
+                            .into_iter()
+                            .filter(|(_, c)| match modulus {
+                                Some(k) => !c.is_multiple_of_pow2(k),
+                                None => true,
+                            })
+                            .collect();
+                        got.sort_by(|a, b| a.0.cmp(&b.0));
+                        want.sort_by(|a, b| a.0.cmp(&b.0));
+                        prop_assert_eq!(got.len(), want.len());
+                        for ((gm, gc), (wm, wc)) in got.iter().zip(&want) {
+                            prop_assert_eq!(gm, wm);
+                            match modulus {
+                                Some(k) => prop_assert_eq!(gc.clone(), wc.mod_pow2(k)),
+                                None => prop_assert_eq!(gc, wc),
+                            }
+                        }
+                    }
+                    ix.assert_consistent();
+                }
+                let canonical = match modulus {
+                    Some(k) => reference.mod_coeffs_pow2(k),
+                    None => reference.clone(),
+                };
+                prop_assert_eq!(ix.into_polynomial(), canonical);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_rehashes_all_live_terms() {
+        let mut ix = IndexedPolynomial::new(tracked(512, &[0]), None);
+        for v in 1..400u32 {
+            ix.add_term(mono(&[0, v]), Int::from(v as i64));
+        }
+        assert_eq!(ix.live_terms(), 399);
+        ix.assert_consistent();
+        let got = ix.extract_terms_containing(Var(0));
+        assert_eq!(got.len(), 399);
+        assert!(ix.is_zero());
+    }
+}

@@ -22,6 +22,11 @@
 //!   S-polynomial step (division by a polynomial of the form `-v + tail`),
 //!   including a scratch-reusing [`Polynomial::substitute_into`] for hot
 //!   loops.
+//! * [`IndexedPolynomial`] — the incrementally indexed term store behind
+//!   the reduction hot loop: an inverted var→term-handle index so each
+//!   substitution step touches only the terms containing the substituted
+//!   net, canonical mod-`2^k` coefficients that cancel at insertion time,
+//!   and a retirement accumulator for terms no substitution can reach.
 //! * [`FastMap`] / [`FastSet`] — `ahash`-keyed hash containers used for every
 //!   hot map in the engine (term tables, keep-sets, model indices).
 //! * [`debug_timer!`] — opt-in wall-clock instrumentation for ad-hoc hot-spot
@@ -62,11 +67,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod indexed;
 mod int;
 mod monomial;
 mod polynomial;
 pub mod spec;
 
+pub use indexed::IndexedPolynomial;
 pub use int::Int;
 pub use monomial::{Monomial, Var, INLINE_VARS};
 pub use polynomial::{Polynomial, TermDelta};

@@ -1,12 +1,15 @@
-//! Differential property tests of the parallel output-cone engine: for every
+//! Differential property tests of the indexed reduction engines: for every
 //! genmul architecture at widths 4–6 and for fault-injected variants, the
-//! parallel engine's `Outcome` (verdict and counterexample operand words)
-//! must be identical to single-threaded MT-LR, for threads ∈ {1, 2, 8}.
+//! `Outcome` (verdict and counterexample operand words) of the incremental
+//! indexed engine (`MT-LR-IDX`) and of the parallel output-cone engine
+//! (`MT-LR-PAR`, for threads ∈ {1, 2, 8}) must be identical to the
+//! scan-based reference MT-LR.
 //!
 //! The comparison is exact: `run_pipeline` canonicalizes remainders modulo
 //! `2^(2n)`, and the fully reduced remainder is the unique multilinear normal
-//! form of the specification over the primary inputs, so both engines ground
-//! the *same* counterexample bit for bit.
+//! form of the specification over the primary inputs, so all engines ground
+//! the *same* counterexample bit for bit — regardless of substitution order
+//! or term-storage layout.
 
 use std::time::Duration;
 
@@ -41,10 +44,60 @@ fn run(netlist: &Netlist, width: usize, method: Method, budget: Budget) -> Repor
         .expect("interface")
 }
 
-/// Asserts that the parallel engine reproduces the reference outcome exactly
-/// (verdict, remainder term count, and the full grounded counterexample),
-/// for every thread count in the sweep.
+/// Asserts that a candidate engine's outcome reproduces the reference
+/// exactly: same verdict, same canonical remainder term count, and a
+/// bit-identical grounded counterexample.
+fn assert_outcome_matches(netlist: &Netlist, reference: &Report, candidate: &Report, label: &str) {
+    match (&reference.outcome, &candidate.outcome) {
+        (Outcome::Verified, Outcome::Verified) => {}
+        (
+            Outcome::Mismatch {
+                remainder_terms: a,
+                counterexample: ca,
+            },
+            Outcome::Mismatch {
+                remainder_terms: b,
+                counterexample: cb,
+            },
+        ) => {
+            assert_eq!(
+                a,
+                b,
+                "{}: canonical remainders must agree ({label})",
+                netlist.name()
+            );
+            assert_eq!(
+                ca,
+                cb,
+                "{}: counterexamples must be bit-identical ({label})",
+                netlist.name()
+            );
+        }
+        // A deterministic term-limit stop: the indexed engines may prune
+        // more aggressively (vanishing checks fire before terms are ever
+        // materialized) or substitute in a cheaper order, so they are
+        // allowed to finish where MT-LR hit the budget — but they must
+        // never contradict a definitive verdict.
+        (Outcome::ResourceLimit { .. }, got) => {
+            assert!(
+                matches!(got, Outcome::ResourceLimit { .. } | Outcome::Verified),
+                "{}: {label} contradicts the resource-limited run: {got:?}",
+                netlist.name()
+            );
+        }
+        (expected, got) => panic!(
+            "{}: outcomes diverge ({label}): MT-LR {expected:?}, got {got:?}",
+            netlist.name()
+        ),
+    }
+}
+
+/// Asserts that the incremental indexed engine (once — it is single-threaded)
+/// and the parallel engine (for every thread count in the sweep) reproduce
+/// the reference outcome exactly.
 fn assert_parallel_matches(netlist: &Netlist, width: usize, reference: &Report, budget: Budget) {
+    let idx = run(netlist, width, Method::MtLrIdx, budget);
+    assert_outcome_matches(netlist, reference, &idx, "MT-LR-IDX");
     for threads in THREAD_SWEEP {
         let par = run(
             netlist,
@@ -52,49 +105,12 @@ fn assert_parallel_matches(netlist: &Netlist, width: usize, reference: &Report, 
             Method::MtLrPar,
             budget.with_threads(threads),
         );
-        match (&reference.outcome, &par.outcome) {
-            (Outcome::Verified, Outcome::Verified) => {}
-            (
-                Outcome::Mismatch {
-                    remainder_terms: a,
-                    counterexample: ca,
-                },
-                Outcome::Mismatch {
-                    remainder_terms: b,
-                    counterexample: cb,
-                },
-            ) => {
-                assert_eq!(
-                    a, b,
-                    "{}: canonical remainders must agree ({threads} threads)",
-                    netlist.name()
-                );
-                assert_eq!(
-                    ca,
-                    cb,
-                    "{}: counterexamples must be bit-identical ({threads} threads)",
-                    netlist.name()
-                );
-            }
-            // A deterministic term-limit stop: the parallel engine may prune
-            // more aggressively (vanishing checks fire before terms are ever
-            // materialized), so it is allowed to finish where MT-LR hit the
-            // budget — but it must never contradict a definitive verdict.
-            (Outcome::ResourceLimit { .. }, par_outcome) => {
-                assert!(
-                    matches!(
-                        par_outcome,
-                        Outcome::ResourceLimit { .. } | Outcome::Verified
-                    ),
-                    "{}: parallel engine contradicts the resource-limited run: {par_outcome:?}",
-                    netlist.name()
-                );
-            }
-            (expected, got) => panic!(
-                "{}: outcomes diverge with {threads} threads: MT-LR {expected:?}, MT-LR-PAR {got:?}",
-                netlist.name()
-            ),
-        }
+        assert_outcome_matches(
+            netlist,
+            reference,
+            &par,
+            &format!("MT-LR-PAR, {threads} threads"),
+        );
     }
 }
 
