@@ -261,6 +261,17 @@ pub struct BenchRecord {
     /// `None` for the SAT baseline, `0` for the scan-based algebraic
     /// engines.
     pub index_hits: Option<u64>,
+    /// Number of variable substitutions of the rewrite phase (Step 2);
+    /// `None` for the SAT baseline.
+    pub rewrite_steps: Option<usize>,
+    /// Number of terms the rewrite phase retrieved through the inverted
+    /// index; `None` for the SAT baseline, `0` for the scan-based rewriter.
+    pub rewrite_index_hits: Option<u64>,
+    /// Peak tail size during the rewrite phase; `None` for the SAT baseline.
+    pub rewrite_peak_terms: Option<usize>,
+    /// Wall-clock time of the rewrite phase in milliseconds; `None` for the
+    /// SAT baseline.
+    pub rewrite_ms: Option<u128>,
     /// The term budget the run was given.
     pub max_terms: usize,
     /// The wall-clock budget the run was given, in milliseconds.
@@ -291,6 +302,10 @@ impl BenchRecord {
             peak_terms: run.stats.as_ref().map(|s| s.peak_terms()),
             substitution_steps: run.stats.as_ref().map(|s| s.reduction.substitutions),
             index_hits: run.stats.as_ref().map(|s| s.reduction.index_hits),
+            rewrite_steps: run.stats.as_ref().map(|s| s.rewrite.substitutions),
+            rewrite_index_hits: run.stats.as_ref().map(|s| s.rewrite.index_hits),
+            rewrite_peak_terms: run.stats.as_ref().map(|s| s.rewrite.peak_terms),
+            rewrite_ms: run.stats.as_ref().map(|s| s.rewrite.elapsed.as_millis()),
             max_terms: config.max_terms,
             timeout_ms: config.timeout.as_millis(),
             threads,
@@ -303,7 +318,7 @@ impl BenchRecord {
             v.as_ref().map_or_else(|| "null".to_string(), T::to_string)
         }
         format!(
-            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"substitution_steps\": {}, \"index_hits\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"threads\": {}, \"status\": \"{}\"}}",
+            "{{\"arch\": \"{}\", \"width\": {}, \"strategy\": \"{}\", \"elapsed_ms\": {}, \"peak_terms\": {}, \"substitution_steps\": {}, \"index_hits\": {}, \"rewrite_steps\": {}, \"rewrite_index_hits\": {}, \"rewrite_peak_terms\": {}, \"rewrite_ms\": {}, \"max_terms\": {}, \"timeout_ms\": {}, \"threads\": {}, \"status\": \"{}\"}}",
             self.arch,
             self.width,
             self.strategy,
@@ -311,6 +326,10 @@ impl BenchRecord {
             opt(&self.peak_terms),
             opt(&self.substitution_steps),
             opt(&self.index_hits),
+            opt(&self.rewrite_steps),
+            opt(&self.rewrite_index_hits),
+            opt(&self.rewrite_peak_terms),
+            opt(&self.rewrite_ms),
             self.max_terms,
             self.timeout_ms,
             self.threads,
@@ -492,12 +511,16 @@ mod tests {
         // serialize as `null`, not as a zero that reads like a measurement.
         assert_eq!(
             record.to_json(),
-            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": null, \"substitution_steps\": null, \"index_hits\": null, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"CEC\", \"elapsed_ms\": 42, \"peak_terms\": null, \"substitution_steps\": null, \"index_hits\": null, \"rewrite_steps\": null, \"rewrite_index_hits\": null, \"rewrite_peak_terms\": null, \"rewrite_ms\": null, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
         );
         let mut stats = gbmv_core::RunStats::default();
         stats.reduction.peak_terms = 7;
         stats.reduction.substitutions = 3;
         stats.reduction.index_hits = 11;
+        stats.rewrite.substitutions = 5;
+        stats.rewrite.index_hits = 13;
+        stats.rewrite.peak_terms = 9;
+        stats.rewrite.elapsed = Duration::from_millis(6);
         let run = StrategyRun {
             strategy: "MT-LR-IDX".to_string(),
             outcome: Outcome::Verified,
@@ -507,7 +530,7 @@ mod tests {
         let record = BenchRecord::from_run("SP-AR-RC", 8, &run, &config);
         assert_eq!(
             record.to_json(),
-            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"MT-LR-IDX\", \"elapsed_ms\": 42, \"peak_terms\": 7, \"substitution_steps\": 3, \"index_hits\": 11, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
+            "{\"arch\": \"SP-AR-RC\", \"width\": 8, \"strategy\": \"MT-LR-IDX\", \"elapsed_ms\": 42, \"peak_terms\": 9, \"substitution_steps\": 3, \"index_hits\": 11, \"rewrite_steps\": 5, \"rewrite_index_hits\": 13, \"rewrite_peak_terms\": 9, \"rewrite_ms\": 6, \"max_terms\": 1000000, \"timeout_ms\": 60000, \"threads\": 1, \"status\": \"ok\"}"
         );
         let dir = std::env::temp_dir().join("gbmv_bench_json_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -76,12 +76,12 @@ pub use model::{AlgebraicModel, ExtractError, GateFunction};
 pub use parallel::ParallelReduction;
 pub use portfolio::{Portfolio, PortfolioReport, StrategyRun};
 pub use reduction::{GbReduction, IndexedReduction, ReductionOutcome, ReductionStats};
-pub use rewrite::{RewriteConfig, RewriteStats, RewritingScheme};
+pub use rewrite::{RewriteConfig, RewriteStats, RewriteVanishing, RewritingScheme};
 pub use session::{Outcome, Phase, Progress, Report, RunStats, Session, SessionError};
 pub use spec::{Spec, SpecError};
 pub use strategy::{
-    FanoutRewrite, GreedyReduction, LogicReductionRewrite, Method, NoRewrite, PhaseContext,
-    ReductionStrategy, RewriteStrategy, XorRewrite,
+    FanoutRewrite, GreedyReduction, IndexedLogicReductionRewrite, LogicReductionRewrite, Method,
+    NoRewrite, PhaseContext, ReductionStrategy, RewriteStrategy, XorRewrite,
 };
 pub use vanishing::{ClosureVanishing, VanishScratch, VanishingRules, VanishingTracker};
 pub use verify::{Verifier, VerifyConfig};

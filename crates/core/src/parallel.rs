@@ -18,7 +18,7 @@
 //!    and summing the partial remainders yields exactly the remainder of the
 //!    whole-spec reduction.
 //! 3. **Fused indexed per-cone reduction.** Each partial is reduced by
-//!    [`FusedReduction`], which keeps the greedy level-restricted
+//!    `FusedReduction`, which keeps the greedy level-restricted
 //!    substitution order of [`crate::GbReduction`] but stores the working
 //!    remainder in an [`IndexedPolynomial`]: an inverted var→term-handle
 //!    index makes each substitution step touch only the terms that actually
@@ -29,7 +29,7 @@
 //!    spec reduction: once no live term mentions a tracked variable reaching
 //!    an output column, that column's terms never re-enter the hot path).
 //!    Ties in the greedy order are broken toward the lowest output column
-//!    ([`FusedReduction::column_order`]) so low columns retire early.
+//!    (`FusedReduction::column_order`) so low columns retire early.
 //!    Vanishing is checked on newly created monomials only, through the
 //!    unit-propagation closure index ([`crate::ClosureVanishing`]), which
 //!    covers the paper's XOR-AND/NOR patterns as well as deeper
@@ -466,6 +466,7 @@ impl FusedReduction<'_> {
             }
         }
         let mut retired_cols = 0u64;
+        let trace = std::env::var("GBMV_TRACE_RED").is_ok_and(|v| v == "1");
 
         let done = |r: IndexedPolynomial, outcome: ReductionOutcome, mut stats: ReductionStats| {
             stats.index_hits = r.index_hits();
@@ -519,6 +520,17 @@ impl FusedReduction<'_> {
             // terms actually containing `v` are touched.
             let tail = model.tail(v).expect("candidate has a tail");
             let extracted = r.extract_terms_containing(v);
+            if trace {
+                eprintln!(
+                    "red step {} var {} level {} occ {} tail {} store {}",
+                    stats.substitutions,
+                    model.name(v),
+                    model.level(v),
+                    extracted.len(),
+                    tail.num_terms(),
+                    r.num_terms(),
+                );
+            }
 
             let products = extracted.len() * tail.num_terms();
             let cancelled = if self.shard_threads > 1 && products >= SHARD_MIN_PRODUCTS {
@@ -679,6 +691,7 @@ mod tests {
             budget,
             token: budget.token(),
             rules: VanishingRules::default(),
+            modulus_bits: None,
         }
     }
 
@@ -750,6 +763,7 @@ mod tests {
             budget,
             token,
             rules: VanishingRules::default(),
+            modulus_bits: None,
         };
         let par = ParallelReduction::default();
         let (_, outcome, _) = par.reduce(&model, &spec, modulus, &ctx);

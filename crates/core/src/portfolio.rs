@@ -247,6 +247,7 @@ impl Portfolio {
                     budget: self.budget,
                     token,
                     rules: self.rules,
+                    modulus_bits,
                 };
                 let cex_ctx = CexContext {
                     model: &self.model,

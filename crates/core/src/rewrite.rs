@@ -22,11 +22,11 @@
 
 use std::time::{Duration, Instant};
 
-use gbmv_poly::{FastSet, Polynomial, Var};
+use gbmv_poly::{FastSet, IndexedPolynomial, Monomial, Polynomial, Var};
 
 use crate::budget::DeadlineToken;
 use crate::model::AlgebraicModel;
-use crate::vanishing::{VanishingRules, VanishingTracker};
+use crate::vanishing::{ClosureVanishing, VanishScratch, VanishingRules, VanishingTracker};
 
 /// The keep-set selection schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,17 @@ pub struct RewriteStats {
     pub removed_polynomials: usize,
     /// Peak number of terms of any tail during rewriting.
     pub peak_terms: usize,
+    /// Number of terms the indexed rewriter retrieved through the inverted
+    /// var→term index (one per extracted term; zero for the scan-based
+    /// engine).
+    pub index_hits: u64,
+    /// Number of output columns completed by the rewrite pass: column `j`
+    /// counts once the pass moves past the last model polynomial whose
+    /// backward cone reaches primary output `j` — every tail feeding that
+    /// column is final from then on. Summed over passes (XOR + common for
+    /// logic reduction); zero for the scan-based engine and for passes that
+    /// stop at a resource limit.
+    pub columns_retired: usize,
     /// Wall-clock time spent rewriting.
     pub elapsed: Duration,
     /// True if the pass hit a resource limit and the model is only partially
@@ -91,6 +102,8 @@ impl RewriteStats {
         self.cancelled_vanishing += other.cancelled_vanishing;
         self.removed_polynomials += other.removed_polynomials;
         self.peak_terms = self.peak_terms.max(other.peak_terms);
+        self.index_hits += other.index_hits;
+        self.columns_retired += other.columns_retired;
         self.elapsed += other.elapsed;
         self.limit_exceeded |= other.limit_exceeded;
     }
@@ -235,6 +248,351 @@ pub fn logic_reduction_rewriting(
     let mut stats = xor_rewriting(model, config);
     if !stats.limit_exceeded {
         let common = common_rewriting(model, config);
+        stats.merge(&common);
+    }
+    stats
+}
+
+/// How often the indexed rewriter polls the cancellation token and the
+/// wall-clock budget inside a single substitution step, in expanded
+/// products — the same cadence as the reduction engines.
+const CANCEL_POLL_INTERVAL: usize = 64 * 1024;
+
+/// The vanishing predicate [`gb_rewrite_indexed`] applies during each
+/// substitution, selected per preset by [`VanishingRules::closure`] (see
+/// [`indexed_xor_rewriting`]).
+pub enum RewriteVanishing<'a> {
+    /// The scan engine's static per-monomial pattern test. In this mode the
+    /// rewriter's result is term-for-term identical to [`gb_rewrite`]'s —
+    /// the differential contract pinned by `tests/rewrite_equivalence.rs`.
+    Tracker(&'a VanishingTracker),
+    /// The unit-propagation closure shared with the reduction engines; the
+    /// presets' default. Cancels strictly more monomials than the tracker's
+    /// patterns, trading byte-identity for the term-growth headroom that
+    /// opens width 16+.
+    Closure(&'a ClosureVanishing, VanishScratch),
+}
+
+impl<'a> RewriteVanishing<'a> {
+    /// Wraps the closure index together with a fresh query scratch.
+    pub fn closure(van: &'a ClosureVanishing) -> Self {
+        Self::Closure(van, van.scratch())
+    }
+
+    fn enabled(&self) -> bool {
+        match self {
+            Self::Tracker(t) => t.enabled(),
+            Self::Closure(c, _) => c.enabled(),
+        }
+    }
+
+    /// Whether a pre-existing term of a freshly touched tail vanishes.
+    fn sweep_vanishes(&mut self, m: &Monomial) -> bool {
+        match self {
+            Self::Tracker(t) => t.monomial_vanishes(m),
+            Self::Closure(c, s) => c.vanishes(m, s),
+        }
+    }
+
+    /// Installs the residual monomial of an extracted term for the product
+    /// judgements that follow; `true` means the residual alone vanishes, so
+    /// every product built on it does too (both predicates are monotone in
+    /// the monomial's variable set).
+    fn begin_rest(&mut self, rest: &Monomial) -> bool {
+        match self {
+            Self::Tracker(t) => t.monomial_vanishes(rest),
+            Self::Closure(c, s) => c.set_rest(rest, s),
+        }
+    }
+
+    /// Judges one replacement term against the residual installed by the
+    /// last [`Self::begin_rest`]: `None` when `tm · rest` vanishes,
+    /// otherwise the materialized product monomial.
+    fn product(&mut self, tm: &Monomial, rest: &Monomial) -> Option<Monomial> {
+        match self {
+            Self::Tracker(t) => {
+                let pm = tm.mul(rest);
+                if t.monomial_vanishes(&pm) {
+                    None
+                } else {
+                    Some(pm)
+                }
+            }
+            Self::Closure(c, s) => {
+                if c.rest_union_vanishes(tm, s) {
+                    None
+                } else {
+                    Some(tm.mul(rest))
+                }
+            }
+        }
+    }
+}
+
+/// Gröbner basis rewriting on the incrementally indexed term store —
+/// Algorithm 2 with the same candidate rule and stopping conditions as
+/// [`gb_rewrite`], but with each tail held in an [`IndexedPolynomial`]:
+///
+/// * terms containing the substituted net are drained **in place** through
+///   the inverted var→term index instead of re-materializing the whole tail
+///   per step;
+/// * with `vanishing`, structurally zero monomials are cancelled **during**
+///   the substitution — a product whose monomial vanishes is never
+///   inserted, and a whole extracted term is skipped when its residual
+///   monomial alone already vanishes (sound because both predicates are
+///   monotone: every supermonomial of a vanishing monomial vanishes too);
+/// * with `modulus_bits = Some(k)`, coefficients are kept canonical mod
+///   `2^k` and terms cancel at insertion time;
+/// * terms over keep-set variables and primary inputs only (no remaining
+///   substitution candidate) retire into the store's inert accumulator,
+///   outside all per-step index maintenance.
+///
+/// The tracked set of each tail's store is its candidate set. On the
+/// topologically ordered pass of a well-formed model every replacement tail
+/// is already fully rewritten, so the candidate set never grows mid-tail —
+/// but the engine still routes replacement-introduced internal nets through
+/// [`IndexedPolynomial::track_var`], so partially rewritten models (for
+/// example after an earlier pass stopped at a limit) stay correct.
+///
+/// The rewritten tails are the canonical post-rewrite form: coefficients in
+/// `[0, 2^k)` when a modulus is given. Which products cancel depends on the
+/// `vanishing` mode:
+///
+/// * [`RewriteVanishing::Tracker`] applies the *same* static per-monomial
+///   test as the scan engine's tracker, so judging each product at
+///   insertion is equivalent to sweeping the merged tail after the step
+///   (the predicate is monotone), and the pre-existing terms of a tail are
+///   swept once, when the first substitution touches it. Modulo the
+///   coefficient canonicalization the result is then term-for-term
+///   identical to [`gb_rewrite`]'s — pinned across every generator
+///   architecture by `tests/rewrite_equivalence.rs`.
+/// * [`RewriteVanishing::Closure`] applies the unit-propagation closure of
+///   the reduction engines, which cancels strictly more monomials. The
+///   post-rewrite model is then *not* syntactically the scan engine's —
+///   the closure changes which variables survive the XOR pass, and with
+///   them the common keep-set — but every cancelled monomial is a member
+///   of the circuit ideal, so a completed reduction ends in exactly the
+///   same multilinear remainder, verdict and counterexample (the argument
+///   of `reduction.rs`'s closure cancellation). `tests/rewrite_equivalence.rs`
+///   and `tests/parallel_equivalence.rs` pin the verdicts. This is the
+///   presets' default mode and what opens width 16+: the closure kills the
+///   high-degree carry products the tracker's local patterns miss.
+pub fn gb_rewrite_indexed(
+    model: &mut AlgebraicModel,
+    keep: &FastSet<Var>,
+    vanishing: Option<RewriteVanishing>,
+    config: &RewriteConfig,
+    modulus_bits: Option<u32>,
+) -> RewriteStats {
+    let start = Instant::now();
+    let mut stats = RewriteStats::default();
+    let mut vanishing = vanishing.filter(|v| v.enabled());
+    let order = model.polynomial_order();
+    // Suffix unions of the output-column masks over the pass order: column
+    // `j` retires once the pass moves past the last polynomial whose
+    // backward cone reaches output `j` — see `cone::output_column_masks`.
+    let mut suffix = vec![0u64; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix[i] = suffix[i + 1] | model.column_mask(order[i]);
+    }
+    let var_count = model.var_count();
+    let mut since_poll = 0usize;
+    'pass: for (pos, &v) in order.iter().enumerate() {
+        let retiring_cols = (suffix[pos] & !suffix[pos + 1]).count_ones() as usize;
+        if start.elapsed() > config.timeout || config.cancel.expired() {
+            stats.limit_exceeded = true;
+            break 'pass;
+        }
+        let Some(tail) = model.tail(v) else { continue };
+        // Candidate substitution fronts: the non-keep internal nets of the
+        // original tail. This matches the scan engine's repeated search —
+        // replacements only ever mention keep-set variables and inputs (see
+        // above), so the front set shrinks monotonically.
+        let mut cand: Vec<Var> = tail
+            .vars()
+            .into_iter()
+            .filter(|&u| !keep.contains(&u) && !model.is_input(u) && model.tail(u).is_some())
+            .collect();
+        if cand.is_empty() {
+            // Nothing to substitute: the scan engine re-stores the identical
+            // tail and never applies vanishing to it.
+            stats.columns_retired += retiring_cols;
+            continue;
+        }
+        let mut tracked = vec![false; var_count];
+        for &u in &cand {
+            tracked[u.index()] = true;
+        }
+        let mut store = IndexedPolynomial::new(tracked, modulus_bits);
+        for (m, c) in tail.iter() {
+            store.add_term(m.clone(), c.clone());
+        }
+        // The pre-existing terms have not been vetted against the vanishing
+        // rules yet; the sweep happens at the first substitution, mirroring
+        // the scan engine's first post-substitution application.
+        let mut swept = vanishing.is_none();
+        loop {
+            if start.elapsed() > config.timeout || config.cancel.expired() {
+                stats.limit_exceeded = true;
+                break;
+            }
+            // The same candidate rule as `smallest_tail_candidate`: smallest
+            // replacement tail, tie-broken by variable index.
+            let mut best: Option<(usize, u32)> = None;
+            for &u in &cand {
+                if store.occurrences(u) == 0 {
+                    continue;
+                }
+                let Some(t) = model.tail(u) else { continue };
+                let key = (t.num_terms(), u.0);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, u)) = best else { break };
+            let u = Var(u);
+            let replacement = model.tail(u).expect("candidate has a tail");
+            let extracted = store.extract_terms_containing(u);
+            stats.substitutions += 1;
+            if !swept {
+                swept = true;
+                if let Some(van) = vanishing.as_mut() {
+                    // The substituted terms already left the store: they are
+                    // expanded rather than pre-filtered, exactly like the
+                    // scan engine, whose first tracker sweep also runs on
+                    // the already-substituted tail — a vanishing term whose
+                    // witness variable is the one being substituted away
+                    // expands into products that need not vanish.
+                    let removed = store.retain_terms(|m| !van.sweep_vanishes(m));
+                    stats.cancelled_vanishing += removed as u64;
+                }
+            }
+            // Tracked-set growth for replacement-introduced internal nets
+            // (a no-op on fully rewritten replacements, see above).
+            for w in replacement.vars() {
+                if !keep.contains(&w)
+                    && !model.is_input(w)
+                    && model.tail(w).is_some()
+                    && !cand.contains(&w)
+                {
+                    store.track_var(w);
+                    cand.push(w);
+                }
+            }
+            let mut aborted = false;
+            'terms: for (m, c) in &extracted {
+                let rest = m.without(u);
+                // Monotonicity of the predicates: if the residual monomial
+                // already vanishes, so does every product built on it —
+                // skip the whole replacement tail.
+                if let Some(van) = vanishing.as_mut() {
+                    if van.begin_rest(&rest) {
+                        stats.cancelled_vanishing += replacement.num_terms() as u64;
+                        continue;
+                    }
+                }
+                for (tm, tc) in replacement.iter() {
+                    since_poll += 1;
+                    if since_poll >= CANCEL_POLL_INTERVAL {
+                        since_poll = 0;
+                        if start.elapsed() > config.timeout || config.cancel.expired() {
+                            aborted = true;
+                            break 'terms;
+                        }
+                    }
+                    let pm = match vanishing.as_mut() {
+                        Some(van) => match van.product(tm, &rest) {
+                            Some(pm) => pm,
+                            None => {
+                                stats.cancelled_vanishing += 1;
+                                continue;
+                            }
+                        },
+                        None => tm.mul(&rest),
+                    };
+                    store.add_term(pm, tc * c);
+                }
+            }
+            if aborted {
+                stats.limit_exceeded = true;
+                break;
+            }
+            stats.peak_terms = stats.peak_terms.max(store.num_terms());
+            if store.num_terms() > config.max_terms {
+                stats.limit_exceeded = true;
+                break;
+            }
+        }
+        stats.index_hits += store.index_hits();
+        // Reassemble even a partially rewritten tail — the scan engine also
+        // stores the tail it had when a limit fired.
+        model.set_tail(v, store.into_polynomial());
+        if stats.limit_exceeded {
+            break 'pass;
+        }
+        stats.columns_retired += retiring_cols;
+    }
+    // UpdateModel, exactly as in the scan engine.
+    if !stats.limit_exceeded {
+        let order = model.polynomial_order();
+        for v in order {
+            if !keep.contains(&v) && !model.is_output(v) {
+                model.remove(v);
+                stats.removed_polynomials += 1;
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// XOR rewriting on the indexed store, with vanishing cancellation applied
+/// during each substitution. [`VanishingRules::closure`] selects the
+/// predicate: the unit-propagation closure by default (the presets' fast,
+/// width-16-opening mode), the scan tracker's pattern rules when disabled —
+/// the byte-identical differential mode of `tests/rewrite_equivalence.rs`.
+pub fn indexed_xor_rewriting(
+    model: &mut AlgebraicModel,
+    config: &RewriteConfig,
+    modulus_bits: Option<u32>,
+) -> RewriteStats {
+    let keep = keep_set(model, RewritingScheme::Xor);
+    if config.rules.closure {
+        let vanishing = ClosureVanishing::new(model, config.rules);
+        let vanishing = RewriteVanishing::closure(&vanishing);
+        gb_rewrite_indexed(model, &keep, Some(vanishing), config, modulus_bits)
+    } else {
+        let vanishing = VanishingTracker::new(model, config.rules);
+        let vanishing = RewriteVanishing::Tracker(&vanishing);
+        gb_rewrite_indexed(model, &keep, Some(vanishing), config, modulus_bits)
+    }
+}
+
+/// Common rewriting on the indexed store (no vanishing, like the scan
+/// engine's common pass).
+pub fn indexed_common_rewriting(
+    model: &mut AlgebraicModel,
+    config: &RewriteConfig,
+    modulus_bits: Option<u32>,
+) -> RewriteStats {
+    let keep = keep_set(model, RewritingScheme::Common);
+    gb_rewrite_indexed(model, &keep, None, config, modulus_bits)
+}
+
+/// Logic reduction rewriting (Algorithm 3) on the indexed store: indexed
+/// XOR rewriting followed by indexed common rewriting — the Step 2 of the
+/// `MT-LR-IDX` and `MT-LR-PAR` presets. With [`VanishingRules::closure`]
+/// disabled it produces the canonical (mod `2^k`) form of
+/// [`logic_reduction_rewriting`]'s result, term for term; with the default
+/// closure mode the model is smaller but reduces to the same remainder.
+pub fn indexed_logic_reduction_rewriting(
+    model: &mut AlgebraicModel,
+    config: &RewriteConfig,
+    modulus_bits: Option<u32>,
+) -> RewriteStats {
+    let mut stats = indexed_xor_rewriting(model, config, modulus_bits);
+    if !stats.limit_exceeded {
+        let common = indexed_common_rewriting(model, config, modulus_bits);
         stats.merge(&common);
     }
     stats
@@ -401,5 +759,123 @@ mod tests {
         let before = model.num_polynomials();
         common_rewriting(&mut model, &config);
         assert!(model.num_polynomials() <= before);
+    }
+
+    #[test]
+    fn indexed_rewriting_matches_the_scan_oracle() {
+        // Full-coverage pinning lives in tests/rewrite_equivalence.rs; this
+        // is the crate-level smoke for the same contract. `closure: false`
+        // selects the tracker predicate, the byte-identical mode.
+        let nl = MultiplierSpec::parse("SP-WT-BK", 4).unwrap().build();
+        let base = AlgebraicModel::from_netlist(&nl).unwrap();
+        let config = RewriteConfig {
+            rules: VanishingRules {
+                closure: false,
+                ..VanishingRules::default()
+            },
+            ..RewriteConfig::default()
+        };
+        let mut oracle = base.clone();
+        logic_reduction_rewriting(&mut oracle, &config);
+        let mut indexed = base.clone();
+        let stats = indexed_logic_reduction_rewriting(&mut indexed, &config, Some(8));
+        assert!(!stats.limit_exceeded);
+        assert!(stats.index_hits > 0);
+        assert!(stats.columns_retired > 0);
+        assert_eq!(oracle.polynomial_order(), indexed.polynomial_order());
+        for v in oracle.polynomial_order() {
+            let want = oracle.tail(v).unwrap().mod_coeffs_pow2(8);
+            let got = indexed.tail(v).unwrap().mod_coeffs_pow2(8);
+            assert_eq!(
+                want.num_terms(),
+                got.num_terms(),
+                "tail of {}",
+                oracle.name(v)
+            );
+            for (m, c) in want.iter() {
+                assert_eq!(&got.coeff(m), c, "tail of {} diverges", oracle.name(v));
+            }
+        }
+    }
+
+    /// The default closure mode cancels at least as much as the tracker
+    /// mode, produces a model that is no larger, and still reduces to
+    /// remainder zero — the verdict-preservation half of the dual-mode
+    /// contract (the byte-identity half is the test above).
+    #[test]
+    fn closure_mode_rewriting_cancels_more_and_still_verifies() {
+        let nl = MultiplierSpec::parse("SP-WT-KS", 4).unwrap().build();
+        let base = AlgebraicModel::from_netlist(&nl).unwrap();
+        let tracker_config = RewriteConfig {
+            rules: VanishingRules {
+                closure: false,
+                ..VanishingRules::default()
+            },
+            ..RewriteConfig::default()
+        };
+        let mut tracked = base.clone();
+        let t_stats = indexed_logic_reduction_rewriting(&mut tracked, &tracker_config, Some(8));
+        let mut closed = base.clone();
+        let c_stats =
+            indexed_logic_reduction_rewriting(&mut closed, &RewriteConfig::default(), Some(8));
+        assert!(!t_stats.limit_exceeded && !c_stats.limit_exceeded);
+        // Note: the cancellation *count* is not comparable across modes —
+        // the closure kills residuals before their products ever form, so
+        // fewer cancellation events can mean more cancellation.
+        assert!(c_stats.cancelled_vanishing > 0);
+        assert!(
+            c_stats.peak_terms <= t_stats.peak_terms,
+            "closure peak ({}) must not exceed the tracker peak ({})",
+            c_stats.peak_terms,
+            t_stats.peak_terms
+        );
+        let model_terms = |m: &AlgebraicModel| -> usize {
+            m.polynomial_order()
+                .into_iter()
+                .map(|v| m.tail(v).unwrap().num_terms())
+                .sum()
+        };
+        assert!(model_terms(&closed) <= model_terms(&tracked));
+        let a: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("a{i}")).unwrap().0))
+            .collect();
+        let b: Vec<Var> = (0..4)
+            .map(|i| Var(nl.find_net(&format!("b{i}")).unwrap().0))
+            .collect();
+        let s: Vec<Var> = nl.outputs().iter().map(|(_, n)| Var(n.0)).collect();
+        let spec = multiplier_spec(&a, &b, &s);
+        let (r, outcome, _) = GbReduction::default().reduce(&closed, &spec);
+        assert!(outcome.is_completed());
+        assert!(
+            r.drop_multiples_of_pow2(8).is_zero(),
+            "closure-mode rewrite must preserve the verdict"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_indexed_rewriting() {
+        let nl = MultiplierSpec::parse("SP-WT-KS", 6).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
+        let token = DeadlineToken::new();
+        token.cancel();
+        let config = RewriteConfig {
+            cancel: token,
+            ..RewriteConfig::default()
+        };
+        let stats = indexed_logic_reduction_rewriting(&mut model, &config, Some(12));
+        assert!(stats.limit_exceeded, "cancelled pass must stop early");
+        assert_eq!(stats.substitutions, 0);
+    }
+
+    #[test]
+    fn term_limit_marks_partial_indexed_rewrite() {
+        let nl = MultiplierSpec::parse("SP-WT-KS", 8).unwrap().build();
+        let mut model = AlgebraicModel::from_netlist(&nl).unwrap();
+        let config = RewriteConfig {
+            max_terms: 3,
+            ..RewriteConfig::default()
+        };
+        let stats = indexed_logic_reduction_rewriting(&mut model, &config, Some(16));
+        assert!(stats.limit_exceeded);
     }
 }

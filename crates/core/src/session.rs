@@ -78,6 +78,19 @@ pub enum Progress {
         /// Wall-clock time the phase took.
         elapsed: Duration,
     },
+    /// Index statistics of an indexed rewrite phase, delivered right after
+    /// its [`Progress::PhaseFinished`] event. Only emitted when the rewrite
+    /// strategy actually went through the inverted var→term index (the
+    /// scan-based strategies produce no such event, so existing observers
+    /// of the default presets see an unchanged sequence).
+    RewriteIndexStats {
+        /// Peak number of terms of any tail during rewriting.
+        peak_terms: usize,
+        /// Terms retrieved through the inverted var→term index.
+        index_hits: u64,
+        /// Output columns completed by the rewrite passes.
+        columns_retired: usize,
+    },
 }
 
 /// The verdict of a verification run.
@@ -274,6 +287,13 @@ pub(crate) fn run_pipeline(
     let start = Instant::now();
     let mut stats = RunStats::default();
     let mut model = base.clone();
+    // Install the run's modulus into the context: rewrite strategies that
+    // store canonical mod-2^k coefficients (the indexed rewriter) read it
+    // from there, while reduction strategies receive it explicitly.
+    let ctx = &PhaseContext {
+        modulus_bits,
+        ..ctx.clone()
+    };
 
     observer(&Progress::PhaseStarted {
         phase: Phase::Rewrite,
@@ -291,6 +311,13 @@ pub(crate) fn run_pipeline(
         phase: Phase::Rewrite,
         elapsed: rewrite_elapsed,
     });
+    if stats.rewrite.index_hits > 0 {
+        observer(&Progress::RewriteIndexStats {
+            peak_terms: stats.rewrite.peak_terms,
+            index_hits: stats.rewrite.index_hits,
+            columns_retired: stats.rewrite.columns_retired,
+        });
+    }
     stats.model_polynomials = model.num_polynomials();
     stats.model_monomials = model.num_monomials();
     stats.max_polynomial_terms = model.max_polynomial_terms();
@@ -564,6 +591,7 @@ impl Session {
             budget: self.budget,
             token,
             rules: self.rules,
+            modulus_bits,
         };
         let cex_ctx = CexContext {
             model: &self.model,
@@ -722,22 +750,30 @@ mod tests {
         );
     }
 
+    fn event_line(p: &Progress) -> String {
+        match p {
+            Progress::PhaseStarted { phase } => format!("start {phase}"),
+            Progress::PhaseFinished { phase, .. } => format!("finish {phase}"),
+            Progress::RewriteIndexStats {
+                peak_terms,
+                index_hits,
+                columns_retired,
+            } => format!("rewrite-index {peak_terms} {index_hits} {columns_retired}"),
+        }
+    }
+
     #[test]
     fn observer_sees_phase_events() {
         let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = events.clone();
         let report = session("SP-AR-RC", 4)
-            .observer(move |p| {
-                let line = match p {
-                    Progress::PhaseStarted { phase } => format!("start {phase}"),
-                    Progress::PhaseFinished { phase, .. } => format!("finish {phase}"),
-                };
-                sink.borrow_mut().push(line);
-            })
+            .observer(move |p| sink.borrow_mut().push(event_line(p)))
             .run()
             .unwrap();
         assert!(report.outcome.is_verified());
         let events = events.borrow();
+        // The default preset rewrites with the scan-based engine: no index
+        // stats event interleaves with the pinned phase sequence.
         assert_eq!(
             *events,
             vec![
@@ -746,6 +782,27 @@ mod tests {
                 "start reduction",
                 "finish reduction"
             ]
+        );
+    }
+
+    #[test]
+    fn indexed_rewrite_reports_index_stats_to_the_observer() {
+        let events: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = events.clone();
+        let report = session("SP-CT-KS", 4)
+            .strategy(Method::MtLrIdx)
+            .observer(move |p| sink.borrow_mut().push(event_line(p)))
+            .run()
+            .unwrap();
+        assert!(report.outcome.is_verified());
+        assert!(report.stats.rewrite.index_hits > 0);
+        assert!(report.stats.rewrite.columns_retired > 0);
+        let events = events.borrow();
+        assert_eq!(events[0], "start rewriting");
+        assert_eq!(events[1], "finish rewriting");
+        assert!(
+            events[2].starts_with("rewrite-index "),
+            "the index stats event must follow the rewrite phase: {events:?}"
         );
     }
 

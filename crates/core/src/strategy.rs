@@ -17,7 +17,8 @@ use crate::budget::{Budget, DeadlineToken};
 use crate::model::AlgebraicModel;
 use crate::reduction::{GbReduction, ReductionOutcome, ReductionStats};
 use crate::rewrite::{
-    fanout_rewriting, logic_reduction_rewriting, xor_rewriting, RewriteConfig, RewriteStats,
+    fanout_rewriting, indexed_logic_reduction_rewriting, logic_reduction_rewriting, xor_rewriting,
+    RewriteConfig, RewriteStats,
 };
 use crate::vanishing::{VanishingRules, VanishingTracker};
 
@@ -33,6 +34,12 @@ pub struct PhaseContext {
     pub token: DeadlineToken,
     /// The structural vanishing rules of the run.
     pub rules: VanishingRules,
+    /// The modulus (in bits) of the run's zero test, when it has one (for a
+    /// multiplier, `Some(2 * width)`). Strategies that store canonical
+    /// mod-`2^k` coefficients — the indexed rewriter — read it from here;
+    /// the session pipeline installs it from the instantiated spec, so
+    /// callers constructing a context by hand can leave it `None`.
+    pub modulus_bits: Option<u32>,
 }
 
 impl Default for PhaseContext {
@@ -42,6 +49,7 @@ impl Default for PhaseContext {
             budget,
             token: budget.token(),
             rules: VanishingRules::default(),
+            modulus_bits: None,
         }
     }
 }
@@ -161,6 +169,28 @@ impl RewriteStrategy for LogicReductionRewrite {
     }
 }
 
+/// Logic reduction rewriting on the incrementally indexed term store (see
+/// [`indexed_logic_reduction_rewriting`]): in-place extraction through the
+/// inverted var→term index, vanishing cancellation applied *during* each
+/// substitution (the unit-propagation closure by default, the scan
+/// tracker's pattern rules — term-for-term identical post-rewrite models
+/// to [`LogicReductionRewrite`] modulo coefficient canonicalization — when
+/// `VanishingRules::closure` is off), and canonical mod-`2^k` coefficients
+/// from [`PhaseContext::modulus_bits`] — the Step 2 of
+/// [`Method::MtLrIdx`] and [`Method::MtLrPar`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexedLogicReductionRewrite;
+
+impl RewriteStrategy for IndexedLogicReductionRewrite {
+    fn name(&self) -> &str {
+        "logic-reduction-indexed"
+    }
+
+    fn rewrite(&self, model: &mut AlgebraicModel, ctx: &PhaseContext) -> RewriteStats {
+        indexed_logic_reduction_rewriting(model, &ctx.rewrite_config(), ctx.modulus_bits)
+    }
+}
+
 /// The provided reduction strategy: greedy smallest-growth substitution order
 /// (see [`GbReduction::reduce`]), optionally re-applying the structural
 /// vanishing rules after every substitution.
@@ -213,17 +243,19 @@ pub enum Method {
     /// Logic reduction rewriting (XOR + common rewriting with the XOR-AND
     /// vanishing rule) — the paper's contribution.
     MtLr,
-    /// MT-LR with the single-threaded incremental indexed reduction engine
-    /// ([`crate::IndexedReduction`]): the working remainder lives in an
-    /// inverted var→term index so each substitution step touches only the
-    /// affected terms, and vanishing goes through the unit-propagation
-    /// closure index. Same remainders and verdicts as MT-LR, different
-    /// per-step cost.
+    /// MT-LR with both phases on the incremental indexed term store: Step 2
+    /// through [`IndexedLogicReductionRewrite`] (in-place extraction,
+    /// closure vanishing during substitution, canonical mod-`2^k`
+    /// coefficients) and Step 3/4 through the single-threaded
+    /// [`crate::IndexedReduction`] engine. Same post-rewrite models (modulo
+    /// coefficient canonicalization), remainders and verdicts as MT-LR,
+    /// different per-step cost.
     MtLrIdx,
-    /// MT-LR with the parallel output-cone reduction engine
-    /// ([`crate::ParallelReduction`]): logic-reduction rewriting, then the
-    /// Step-3 reduction decomposed per (merged) output cone and run on a
-    /// scoped worker pool sized by [`crate::Budget::threads`].
+    /// MT-LR with the indexed rewriter ([`IndexedLogicReductionRewrite`],
+    /// shared with `MT-LR-IDX`) feeding the parallel output-cone reduction
+    /// engine ([`crate::ParallelReduction`]): the Step-3 reduction is
+    /// decomposed per (merged) output cone and run on a scoped worker pool
+    /// sized by [`crate::Budget::threads`].
     MtLrPar,
 }
 
@@ -254,13 +286,17 @@ impl Method {
         }
     }
 
-    /// The Step-2 strategy this preset stands for.
+    /// The Step-2 strategy this preset stands for. `MT-LR` keeps the
+    /// scan-based rewriter (it doubles as the differential oracle of the
+    /// rewrite-equivalence harness); the indexed and parallel presets run
+    /// Step 2 on the indexed store.
     pub fn rewrite_strategy(self) -> Box<dyn RewriteStrategy> {
         match self {
             Method::MtNaive => Box::new(NoRewrite),
             Method::MtFo => Box::new(FanoutRewrite),
             Method::MtXorOnly => Box::new(XorRewrite),
-            Method::MtLr | Method::MtLrIdx | Method::MtLrPar => Box::new(LogicReductionRewrite),
+            Method::MtLr => Box::new(LogicReductionRewrite),
+            Method::MtLrIdx | Method::MtLrPar => Box::new(IndexedLogicReductionRewrite),
         }
     }
 
@@ -303,12 +339,18 @@ mod tests {
         assert_eq!(Method::MtFo.reduction_strategy().name(), "greedy");
         assert_eq!(Method::MtNaive.rewrite_strategy().name(), "none");
         assert_eq!(Method::MtXorOnly.rewrite_strategy().name(), "xor");
-        assert_eq!(Method::MtLrIdx.rewrite_strategy().name(), "logic-reduction");
+        assert_eq!(
+            Method::MtLrIdx.rewrite_strategy().name(),
+            "logic-reduction-indexed"
+        );
         assert_eq!(
             Method::MtLrIdx.reduction_strategy().name(),
             "indexed+vanishing"
         );
-        assert_eq!(Method::MtLrPar.rewrite_strategy().name(), "logic-reduction");
+        assert_eq!(
+            Method::MtLrPar.rewrite_strategy().name(),
+            "logic-reduction-indexed"
+        );
         assert_eq!(
             Method::MtLrPar.reduction_strategy().name(),
             "parallel-cones+vanishing"

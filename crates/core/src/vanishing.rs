@@ -33,7 +33,10 @@ pub struct VanishingRules {
     /// Assumption-closure matching in the indexed engines: detect any
     /// monomial whose variables force contradictory values by unit
     /// propagation (covers XOR chains, full-adder carry products, and
-    /// complement pairs). Ignored by [`VanishingTracker`].
+    /// complement pairs). Also selects the indexed *rewriter's* vanishing
+    /// predicate: closure when set, the tracker's pattern rules — the
+    /// byte-identical-to-the-scan-oracle differential mode — when clear.
+    /// Ignored by [`VanishingTracker`] itself.
     pub closure: bool,
 }
 
@@ -125,6 +128,12 @@ impl VanishingTracker {
     /// The number of monomials removed so far (`#CVM`).
     pub fn cancelled(&self) -> u64 {
         self.cancelled
+    }
+
+    /// Whether any of the tracker's pattern rules is switched on; when this
+    /// is `false`, [`VanishingTracker::apply`] is a no-op.
+    pub fn enabled(&self) -> bool {
+        self.rules.xor_and || self.rules.xor_both_inputs || self.rules.xor_nor
     }
 
     /// Returns `true` if the monomial is structurally guaranteed to evaluate

@@ -114,6 +114,7 @@ impl Verifier {
             budget,
             token: budget.token(),
             rules: config.rules,
+            modulus_bits: config.modular.then_some(modulus_bits).flatten(),
         };
         let cex_ctx = CexContext {
             model: &self.model,

@@ -1,17 +1,19 @@
 //! Sweeps every multiplier architecture family (2 partial-product generators
 //! x 5 accumulators x 5 final adders = 50 architectures) at a small width and
-//! verifies each with MT-LR through the `Session` API, printing a compact
-//! matrix — the full architecture space the paper's benchmark set is drawn
-//! from.
+//! verifies each with MT-LR-IDX (indexed rewriting + indexed reduction)
+//! through the `Session` API, printing a compact matrix — the full
+//! architecture space the paper's benchmark set is drawn from.
 //!
-//! Each instance runs under a tight per-run [`Budget`]; architectures whose
-//! reduction still blows up at this width (e.g. the array accumulator feeding
-//! a Kogge-Stone final adder) report `TO`, mirroring the paper's tables. A
-//! mismatch, by contrast, would be a real bug — the sweep asserts none occur.
+//! Each instance runs under a tight term-only [`Budget`] — no wall clock, so
+//! the sweep's verdict column is deterministic on any machine and at one
+//! thread. Architectures whose reduction still blows up at this width (e.g.
+//! the array accumulator feeding a Kogge-Stone final adder) report `TO`,
+//! mirroring the paper's tables. A mismatch, by contrast, would be a real
+//! bug — the sweep asserts none occur.
 //!
 //! Run with `cargo run --release --example architecture_sweep`.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use gbmv::genmul::{Accumulator, FinalAdder, MultiplierSpec, PartialProduct};
 use gbmv::{Budget, Method, Session, Spec};
@@ -20,10 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let width = 6;
     let budget = Budget {
         max_terms: 1_000_000,
-        deadline: Some(Duration::from_secs(20)),
-        threads: 0,
+        deadline: None,
+        threads: 1,
     };
-    println!("MT-LR verification of all architectures at width {width} (time in ms):");
+    println!("MT-LR-IDX verification of all architectures at width {width} (time in ms):");
     println!(
         "{:<6} {:<6} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "PP", "Acc", "RC", "CL", "BK", "KS", "HC"
@@ -40,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let start = Instant::now();
                 let report = Session::extract(&netlist)?
                     .spec(Spec::multiplier(width))
-                    .strategy(Method::MtLr)
+                    .strategy(Method::MtLrIdx)
                     .budget(budget)
                     .counterexamples(false)
                     .run()?;

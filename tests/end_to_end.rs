@@ -58,10 +58,12 @@ fn mt_fo_blows_up_where_mt_lr_succeeds() {
     // With intermediate mod-2^(2n) coefficient dropping in the reduction
     // engine both methods got dramatically cheaper; at this width MT-FO peaks
     // above 10k terms while MT-LR stays near 100, so a 2k budget separates
-    // them with ample margin on both sides.
+    // them with ample margin on both sides. No deadline: the verdict depends
+    // only on the term budget, so the contrast is deterministic on any
+    // machine and at one thread.
     let tight = Budget {
         max_terms: 2_000,
-        deadline: Some(std::time::Duration::from_secs(300)),
+        deadline: None,
         threads: 0,
     };
     let complex = MultiplierSpec::parse("BP-WT-CL", width)
@@ -87,6 +89,21 @@ fn mt_fo_blows_up_where_mt_lr_succeeds() {
         lr_complex.outcome
     );
     assert!(lr_complex.stats.cancelled_vanishing() > 0);
+    // The indexed rewriter stays within the same tight budget: in its
+    // default closure mode it cancels at least as much as the scan engine's
+    // tracker (byte-identity in tracker mode is pinned by
+    // `tests/rewrite_equivalence.rs`), so the rewrite peak cannot regress
+    // past the oracle's.
+    session = session.strategy(Method::MtLrIdx);
+    let idx_complex = session.run().expect("interface");
+    assert!(
+        idx_complex.outcome.is_verified(),
+        "MT-LR-IDX must verify BP-WT-CL under the same budget, got {:?}",
+        idx_complex.outcome
+    );
+    assert!(idx_complex.stats.rewrite.index_hits > 0);
+    assert!(idx_complex.stats.rewrite.columns_retired > 0);
+    assert!(idx_complex.stats.rewrite.peak_terms <= tight.max_terms);
 }
 
 /// Single-gate faults injected into three different architectures are
